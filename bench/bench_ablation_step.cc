@@ -1,0 +1,40 @@
+/**
+ * Ablation: bandit step duration (Table 6: 1000 L2 demand accesses).
+ *
+ * Short steps give noisy IPC rewards; long steps adapt slowly and pay
+ * more for trying bad arms. The sweep shows the tuned value in the
+ * sweet spot.
+ */
+#include "common.h"
+
+using namespace mab;
+using namespace mab::bench;
+
+int
+main()
+{
+    const uint64_t instr = scaled(800'000);
+    auto tune = tuneSetPrefetch();
+    tune.resize(20);
+
+    const uint64_t steps[] = {125, 250, 500, 1000, 2000, 4000};
+
+    std::printf("Ablation: bandit step duration (L2 demand accesses), "
+                "gmean IPC over %zu tune traces\n", tune.size());
+    rule(36);
+    for (uint64_t step : steps) {
+        std::vector<double> ipcs;
+        for (const auto &app : tune) {
+            BanditPrefetchConfig cfg;
+            cfg.hw.stepUnits = step;
+            BanditPrefetchController pf(cfg);
+            ipcs.push_back(runPrefetch(app, pf, instr).ipc);
+        }
+        std::printf("step %5llu   gmean IPC %s\n",
+                    static_cast<unsigned long long>(step),
+                    fmt(gmean(ipcs), 3).c_str());
+    }
+    rule(36);
+    std::printf("Table 6 value: 1000 L2 accesses.\n");
+    return 0;
+}

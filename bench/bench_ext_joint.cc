@@ -1,0 +1,76 @@
+/**
+ * Extension study (Section 9): a single Bandit controlling multiple
+ * ensembles — the joint L1+L2 agent whose action space is the product
+ * of the per-level spaces (3 x 11 = 33 arms) — against the paper's
+ * Figure 12 combination of independent prefetchers (stride at L1 +
+ * Bandit at L2).
+ */
+#include <map>
+
+#include "common.h"
+#include "cpu/joint_bandit.h"
+
+using namespace mab;
+using namespace mab::bench;
+
+namespace {
+
+double
+runJoint(const AppProfile &app, uint64_t instr)
+{
+    MabConfig mab;
+    mab.numArms = JointBanditController::numArms();
+    mab.seed = app.seed;
+    mab.c = 0.2;
+    mab.gamma = 0.99;
+    BanditHwConfig hw;
+    hw.stepUnits = 125;
+
+    JointBanditController ctrl(MabAlgorithm::Ducb, mab, hw);
+    SyntheticTrace trace(app);
+    CoreModel core(CoreConfig{}, HierarchyConfig{}, trace,
+                   ctrl.l2View(), ctrl.l1View());
+    core.run(instr);
+    return core.ipc();
+}
+
+double
+runSplit(const AppProfile &app, uint64_t instr)
+{
+    SyntheticTrace trace(app);
+    auto l1 = makePrefetcher("Stride", app.seed);
+    auto l2 = makePrefetcher("Bandit", app.seed);
+    CoreModel core(CoreConfig{}, HierarchyConfig{}, trace, l2.get(),
+                   l1.get());
+    core.run(instr);
+    return core.ipc();
+}
+
+} // namespace
+
+int
+main()
+{
+    const uint64_t instr = scaled(1'000'000);
+    std::vector<double> joint, split;
+
+    for (const auto &spec : allWorkloads()) {
+        const PfRun base = runPrefetchNamed(spec.app, "None", instr);
+        joint.push_back(runJoint(spec.app, instr) / base.ipc);
+        split.push_back(runSplit(spec.app, instr) / base.ipc);
+    }
+
+    std::printf("Extension study: joint L1+L2 Bandit (33 arms) vs "
+                "independent Stride_Bandit (Figure 12 combo)\n");
+    rule(56);
+    std::printf("Stride_Bandit (independent)  %8s\n",
+                fmt(gmean(split), 3).c_str());
+    std::printf("JointBandit   (33-arm)       %8s   (%+.1f%%)\n",
+                fmt(gmean(joint), 3).c_str(),
+                100.0 * (gmean(joint) / gmean(split) - 1.0));
+    rule(56);
+    std::printf("The joint agent explores a 3x larger action space; "
+                "Section 9 predicts it needs longer episodes to pay "
+                "off.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * Figure 8: single-core performance of state-of-the-art L2 prefetchers.
+ *
+ * For every workload of every suite, runs the Stride baseline, Bingo,
+ * MLOP, Pythia and the Micro-Armed Bandit, and reports the per-suite
+ * geometric-mean IPC normalized to a system with no L2 prefetcher —
+ * the series of the paper's Figure 8 — plus the headline pairwise
+ * geomean deltas quoted in Section 7.2.1.
+ */
+#include <map>
+
+#include "common.h"
+
+using namespace mab;
+using namespace mab::bench;
+
+int
+main()
+{
+    const uint64_t instr = scaled(1'000'000);
+    const auto pf_names = comparisonPrefetchers();
+
+    // speedups[pf][suite] -> per-app normalized IPCs.
+    std::map<std::string, std::map<std::string, std::vector<double>>>
+        speedups;
+
+    for (const auto &spec : allWorkloads()) {
+        const PfRun base = runPrefetchNamed(spec.app, "None", instr);
+        for (const auto &pf : pf_names) {
+            const PfRun r = runPrefetchNamed(spec.app, pf, instr);
+            speedups[pf][spec.suite].push_back(r.ipc / base.ipc);
+        }
+    }
+
+    std::printf("Figure 8: geomean IPC normalized to no L2 prefetching"
+                " (%llu instrs/trace)\n",
+                static_cast<unsigned long long>(instr));
+    std::printf("%-10s", "");
+    for (const auto &suite : allSuites())
+        std::printf("%12s", suite.c_str());
+    std::printf("%12s\n", "ALL");
+    rule(82);
+
+    std::map<std::string, double> overall;
+    for (const auto &pf : pf_names) {
+        std::printf("%-10s", pf.c_str());
+        std::vector<double> all;
+        for (const auto &suite : allSuites()) {
+            const auto &v = speedups[pf][suite];
+            std::printf("%12s", fmt(gmean(v), 3).c_str());
+            all.insert(all.end(), v.begin(), v.end());
+        }
+        overall[pf] = gmean(all);
+        std::printf("%12s\n", fmt(overall[pf], 3).c_str());
+    }
+
+    rule(82);
+    std::printf("Paper (Sec 7.2.1): Bandit vs Stride +9%%, "
+                "Bingo +2.6%%, MLOP +2.3%%, Pythia +0.2%%\n");
+    for (const auto &pf : {"Stride", "Bingo", "MLOP", "Pythia"}) {
+        const double delta =
+            100.0 * (overall["Bandit"] / overall[pf] - 1.0);
+        std::printf("Measured:  Bandit vs %-7s %+5.1f%%\n", pf, delta);
+    }
+    return 0;
+}

@@ -1,0 +1,185 @@
+#ifndef MAB_BENCH_COMMON_H
+#define MAB_BENCH_COMMON_H
+
+/**
+ * @file
+ * Shared plumbing for the bench harness: prefetcher factory, run
+ * helpers, and table formatting. Every bench binary regenerates one
+ * table or figure of the paper (see DESIGN.md for the index) and
+ * prints the same rows/series the paper reports.
+ *
+ * Scale: the paper simulates 1B instructions per trace and 150M
+ * instructions per SMT thread; the harness defaults to ~1M-instruction
+ * / ~1M-cycle runs so the full suite completes in minutes on one core.
+ * Set MAB_BENCH_SCALE=<f> to multiply all run lengths (e.g. 10 for a
+ * long run).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/bandit_prefetch.h"
+#include "cpu/core_model.h"
+#include "prefetch/bingo.h"
+#include "prefetch/ensemble.h"
+#include "prefetch/ipcp.h"
+#include "prefetch/mlop.h"
+#include "prefetch/pythia.h"
+#include "prefetch/stride.h"
+#include "sim/stats.h"
+#include "trace/suites.h"
+
+namespace mab::bench {
+
+/** Global run-length multiplier (MAB_BENCH_SCALE, default 1.0). */
+inline double
+benchScale()
+{
+    if (const char *env = std::getenv("MAB_BENCH_SCALE")) {
+        const double f = std::atof(env);
+        if (f > 0.0)
+            return f;
+    }
+    return 1.0;
+}
+
+/** Scale an instruction/cycle budget by the global multiplier. */
+inline uint64_t
+scaled(uint64_t n)
+{
+    return static_cast<uint64_t>(static_cast<double>(n) * benchScale());
+}
+
+/** Names of the prefetchers compared in Figures 8/9/11/14. */
+inline std::vector<std::string>
+comparisonPrefetchers()
+{
+    return {"Stride", "Bingo", "MLOP", "Pythia", "Bandit"};
+}
+
+/**
+ * Instantiate a prefetcher by report name. "Bandit" builds the DUCB
+ * Micro-Armed Bandit controller; "Bandit:<algo>" selects another MAB
+ * algorithm; "BanditIdeal" removes the 500-cycle selection latency.
+ */
+inline std::unique_ptr<Prefetcher>
+makePrefetcher(const std::string &name, uint64_t seed = 1)
+{
+    if (name == "None")
+        return std::make_unique<NullPrefetcher>();
+    if (name == "Stride") {
+        // The baseline IP-stride prefetcher [23] runs one stride
+        // ahead of the demand stream.
+        return std::make_unique<StridePrefetcher>(64, 1);
+    }
+    if (name == "Bingo")
+        return std::make_unique<BingoPrefetcher>();
+    if (name == "MLOP")
+        return std::make_unique<MlopPrefetcher>();
+    if (name == "IPCP")
+        return std::make_unique<IpcpPrefetcher>();
+    if (name == "Pythia") {
+        PythiaConfig cfg;
+        cfg.seed = seed * 31 + 7;
+        return std::make_unique<PythiaPrefetcher>(cfg);
+    }
+    if (name == "Bandit" || name.rfind("Bandit:", 0) == 0 ||
+        name == "BanditIdeal") {
+        BanditPrefetchConfig cfg;
+        cfg.mab.seed = seed;
+        // The paper's hyperparameters (step = 1000 accesses,
+        // c = 0.04, gamma = 0.999) were tuned for 1B-instruction
+        // traces with tens of thousands of bandit steps. The scaled
+        // runs take a few hundred steps, so the step shrinks
+        // proportionally and (per the paper's own tune-set
+        // procedure) c/gamma are retuned to the shorter horizon.
+        cfg.hw.stepUnits = 125;
+        cfg.mab.c = 0.2;
+        cfg.mab.gamma = 0.99;
+        if (name == "BanditIdeal")
+            cfg.hw.selectionLatencyCycles = 0;
+        if (name.rfind("Bandit:", 0) == 0) {
+            const std::string algo = name.substr(7);
+            if (algo == "eGreedy")
+                cfg.algorithm = MabAlgorithm::EpsilonGreedy;
+            else if (algo == "UCB")
+                cfg.algorithm = MabAlgorithm::Ucb;
+            else if (algo == "DUCB")
+                cfg.algorithm = MabAlgorithm::Ducb;
+            else if (algo == "Single")
+                cfg.algorithm = MabAlgorithm::Single;
+            else if (algo == "Periodic")
+                cfg.algorithm = MabAlgorithm::Periodic;
+        }
+        return std::make_unique<BanditPrefetchController>(cfg);
+    }
+    std::fprintf(stderr, "unknown prefetcher: %s\n", name.c_str());
+    std::abort();
+}
+
+/** Result of one single-core prefetching run. */
+struct PfRun
+{
+    double ipc = 0.0;
+    PrefetchStats pf;
+    uint64_t llcDemandMisses = 0;
+    uint64_t l2DemandAccesses = 0;
+    uint64_t instructions = 0;
+};
+
+/** Run @p app with @p pf for @p instr instructions. */
+inline PfRun
+runPrefetch(const AppProfile &app, Prefetcher &pf, uint64_t instr,
+            const HierarchyConfig &hier = {}, const DramConfig &dram = {})
+{
+    SyntheticTrace trace(app);
+    CoreModel core(CoreConfig{}, hier, trace, &pf, nullptr, dram);
+
+    // Give learning prefetchers that want it a DRAM utilization probe
+    // (Pythia's bandwidth awareness).
+    if (auto *pythia = dynamic_cast<PythiaPrefetcher *>(&pf)) {
+        Dram *d = &core.hierarchy().dram();
+        pythia->setBandwidthProbe([d](uint64_t cycle) {
+            const uint64_t busy = d->busFreeCycle();
+            if (busy <= cycle)
+                return 0.0;
+            const double backlog = static_cast<double>(busy - cycle);
+            return backlog >= 500.0 ? 1.0 : backlog / 500.0;
+        });
+    }
+
+    core.run(instr);
+    PfRun r;
+    r.ipc = core.ipc();
+    r.pf = core.hierarchy().prefetchStats();
+    r.llcDemandMisses = core.hierarchy().llcDemandMisses();
+    r.l2DemandAccesses = core.hierarchy().l2DemandAccesses();
+    r.instructions = core.instructions();
+    return r;
+}
+
+/** Convenience: run by prefetcher name. */
+inline PfRun
+runPrefetchNamed(const AppProfile &app, const std::string &pf_name,
+                 uint64_t instr, const HierarchyConfig &hier = {},
+                 const DramConfig &dram = {})
+{
+    auto pf = makePrefetcher(pf_name, app.seed);
+    return runPrefetch(app, *pf, instr, hier, dram);
+}
+
+/** Print a horizontal rule sized to @p width. */
+inline void
+rule(int width)
+{
+    for (int i = 0; i < width; ++i)
+        std::fputc('-', stdout);
+    std::fputc('\n', stdout);
+}
+
+} // namespace mab::bench
+
+#endif // MAB_BENCH_COMMON_H

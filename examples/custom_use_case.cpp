@@ -1,0 +1,112 @@
+/**
+ * custom_use_case: reusing the Micro-Armed Bandit for a *third*
+ * decision-making problem, beyond the two in the paper — picking a
+ * cache insertion policy for a toy LLC.
+ *
+ * The paper's pitch is that the agent is reusable: point it at any
+ * knob with temporal homogeneity in its action space, give it a
+ * reward counter, done. Here the arms are insertion policies of a
+ * small cache (insert-at-MRU, insert-at-LRU, bypass-1-in-2) and the
+ * reward is the hit rate over a step window. The workload alternates
+ * between a cache-friendly phase (MRU insertion wins) and a scanning
+ * phase (bypass/LRU insertion wins) — the agent tracks the flips.
+ *
+ *   ./examples/custom_use_case
+ */
+#include <cstdio>
+#include <vector>
+
+#include "core/bandit_agent.h"
+#include "core/factory.h"
+#include "memory/cache.h"
+#include "sim/rng.h"
+#include "trace/record.h"
+
+using namespace mab;
+
+namespace {
+
+/** Tiny cache wrapper whose insertion behaviour is the bandit arm. */
+class AdaptiveCache
+{
+  public:
+    AdaptiveCache() : cache_({"toy", 16 * 1024, 8, 1}) {}
+
+    void setArm(ArmId arm) { arm_ = arm; }
+
+    bool
+    access(uint64_t line, Rng &rng)
+    {
+        if (cache_.lookupDemand(line, 0).hit)
+            return true;
+        switch (arm_) {
+          case 0: // insert at MRU (normal fill)
+            cache_.fill(line, 0, false);
+            break;
+          case 1: // bypass half of the fills (scan-resistant)
+            if (rng.bernoulli(0.5))
+                cache_.fill(line, 0, false);
+            break;
+          case 2: // no insertion at all (pure bypass)
+            break;
+        }
+        return false;
+    }
+
+  private:
+    Cache cache_;
+    ArmId arm_ = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    MabConfig config;
+    config.numArms = 3;
+    config.gamma = 0.97;
+    config.c = 0.25;
+    config.seed = 11;
+
+    BanditHwConfig hw;
+    hw.stepUnits = 2000; // accesses per bandit step
+    hw.selectionLatencyCycles = 0;
+
+    BanditAgent agent(makePolicy(MabAlgorithm::Ducb, config), hw);
+    AdaptiveCache cache;
+    Rng rng(3);
+
+    uint64_t hits = 0, accesses = 0;
+    const uint64_t hot_lines = 128;   // fits easily
+    const uint64_t scan_lines = 4096; // thrashes everything
+
+    for (int step = 0; step < 60'000; ++step) {
+        // 3 alternating phases of 20k accesses each.
+        const bool scanning = (step / 20'000) % 2 == 1;
+        const uint64_t line = scanning
+            ? (static_cast<uint64_t>(step) % scan_lines) * kLineBytes
+            : rng.below(hot_lines) * kLineBytes;
+
+        cache.setArm(agent.selectedArm());
+        hits += cache.access(line, rng);
+        ++accesses;
+        // Reward = hit rate: reuse the agent's (instr, cycle) reward
+        // plumbing with (hits, accesses).
+        agent.tick(1, hits, accesses);
+
+        if (step % 10'000 == 9'999) {
+            std::printf(
+                "phase %-8s greedy arm = %d (0=MRU, 1=half-bypass, "
+                "2=bypass)\n",
+                scanning ? "scan" : "hot", agent.policy().greedyArm());
+        }
+    }
+
+    std::printf("\noverall hit rate: %.1f%% — the agent should pick "
+                "MRU insertion in hot phases and a bypass arm while "
+                "scanning.\n",
+                100.0 * static_cast<double>(hits) /
+                    static_cast<double>(accesses));
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * Quickstart: the Micro-Armed Bandit library in ~60 lines.
+ *
+ * Builds a DUCB agent over a toy 4-arm environment (a knob whose best
+ * setting changes halfway through the run — the "temporal
+ * homogeneity with occasional phase change" regime the paper
+ * targets), and shows the agent locking onto the best arm and then
+ * re-adapting after the change.
+ *
+ *   ./examples/quickstart
+ */
+#include <cstdio>
+
+#include "core/bandit_agent.h"
+#include "core/factory.h"
+#include "sim/rng.h"
+
+using namespace mab;
+
+int
+main()
+{
+    // 1. Configure the agent: 4 arms, DUCB with a forgetting factor.
+    MabConfig config;
+    config.numArms = 4;
+    config.gamma = 0.98;
+    config.c = 0.3;
+    config.seed = 42;
+
+    BanditHwConfig hw;
+    hw.stepUnits = 1; // every tick() ends a bandit step
+    hw.selectionLatencyCycles = 0;
+
+    BanditAgent agent(makePolicy(MabAlgorithm::Ducb, config), hw);
+    std::printf("agent storage: %llu bytes (nTable + rTable)\n\n",
+                static_cast<unsigned long long>(agent.storageBytes()));
+
+    // 2. A toy environment: arm quality flips at step 500.
+    Rng rng(7);
+    auto reward = [&](ArmId arm, int step) {
+        const double means_a[4] = {0.4, 0.9, 0.5, 0.2};
+        const double means_b[4] = {0.9, 0.3, 0.5, 0.2};
+        const double *means = step < 500 ? means_a : means_b;
+        return means[arm] + rng.uniform(-0.05, 0.05);
+    };
+
+    // 3. Drive the agent: it owns the explore/exploit tradeoff.
+    uint64_t pseudo_instr = 0;
+    for (int step = 1; step <= 1000; ++step) {
+        const ArmId arm = agent.selectedArm();
+        // The agent computes its reward from (instruction, cycle)
+        // counter deltas, exactly like the hardware (Figure 6d):
+        // feed it "instructions" proportional to the arm's payoff.
+        pseudo_instr +=
+            static_cast<uint64_t>(1000.0 * reward(arm, step));
+        agent.tick(1, pseudo_instr, static_cast<uint64_t>(step) * 1000);
+
+        if (step % 100 == 0) {
+            std::printf("step %4d: greedy arm = %d   (r: ", step,
+                        agent.policy().greedyArm());
+            for (double r : agent.policy().armRewards())
+                std::printf("%.2f ", r);
+            std::printf(")\n");
+        }
+    }
+
+    std::printf("\nThe greedy arm should read 1 early and 0 after the "
+                "phase flip at step 500.\n");
+    return 0;
+}

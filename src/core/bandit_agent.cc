@@ -1,0 +1,100 @@
+#include "core/bandit_agent.h"
+
+#include <cassert>
+
+namespace mab {
+
+BanditAgent::BanditAgent(std::unique_ptr<MabPolicy> policy,
+                         const BanditHwConfig &config)
+    : policy_(std::move(policy)), config_(config)
+{
+    assert(policy_ && "BanditAgent requires a policy");
+    // First selection happens immediately (start of the round-robin
+    // phase); there is no previous arm to fall back to.
+    selectedArm_ = policy_->selectArm();
+    previousArm_ = selectedArm_;
+    armEffectiveCycle_ = 0;
+    if (config_.recordHistory)
+        history_.emplace_back(0, selectedArm_);
+}
+
+uint64_t
+BanditAgent::currentStepTarget() const
+{
+    if (policy_->inRoundRobin() && config_.stepUnitsRr != 0)
+        return config_.stepUnitsRr;
+    return config_.stepUnits;
+}
+
+void
+BanditAgent::finishStep(double r_step, uint64_t cycles)
+{
+    policy_->observeReward(r_step);
+
+    previousArm_ = selectedArm_;
+    selectedArm_ = policy_->selectArm();
+    armEffectiveCycle_ = cycles + config_.selectionLatencyCycles;
+
+    unitsIntoStep_ = 0;
+    unitsAtStepStart_ = unitsTotal_;
+    cyclesAtStepStart_ = cycles;
+    ++stepsCompleted_;
+
+    if (config_.recordHistory && selectedArm_ != previousArm_)
+        history_.emplace_back(cycles, selectedArm_);
+}
+
+bool
+BanditAgent::tick(uint64_t units, uint64_t instructions, uint64_t cycles)
+{
+    unitsIntoStep_ += units;
+    unitsTotal_ += units;
+    if (unitsIntoStep_ < currentStepTarget())
+        return false;
+
+    // Step boundary: compute the IPC reward of the finished step
+    // (Figure 6(d)) and ask the policy for the next arm.
+    const uint64_t d_instr = instructions - instrAtStepStart_;
+    const uint64_t d_cycles = cycles > cyclesAtStepStart_
+        ? cycles - cyclesAtStepStart_ : 1;
+    const double r_step =
+        static_cast<double>(d_instr) / static_cast<double>(d_cycles);
+
+    instrAtStepStart_ = instructions;
+    finishStep(r_step, cycles);
+    return true;
+}
+
+bool
+BanditAgent::tickMetric(uint64_t units, double metricSum,
+                        uint64_t cycles)
+{
+    unitsIntoStep_ += units;
+    unitsTotal_ += units;
+    if (unitsIntoStep_ < currentStepTarget())
+        return false;
+
+    const double d_metric = metricSum - metricAtStepStart_;
+    const uint64_t d_units = unitsTotal_ > unitsAtStepStart_
+        ? unitsTotal_ - unitsAtStepStart_ : 1;
+    const double r_step = d_metric / static_cast<double>(d_units);
+
+    metricAtStepStart_ = metricSum;
+    finishStep(r_step, cycles);
+    return true;
+}
+
+ArmId
+BanditAgent::armAt(uint64_t cycle) const
+{
+    return cycle >= armEffectiveCycle_ ? selectedArm_ : previousArm_;
+}
+
+uint64_t
+BanditAgent::storageBytes() const
+{
+    // 4-byte single-precision reward + 4-byte unsigned count per arm.
+    return static_cast<uint64_t>(policy_->numArms()) * 8u;
+}
+
+} // namespace mab

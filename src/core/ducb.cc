@@ -1,0 +1,15 @@
+#include "core/ducb.h"
+
+namespace mab {
+
+void
+Ducb::updSels(ArmId arm)
+{
+    for (double &n : n_)
+        n *= config_.gamma;
+    // n_total is the sum of the n_i, so it is discounted identically.
+    nTotal_ = nTotal_ * config_.gamma + 1.0;
+    n_[arm] += 1.0;
+}
+
+} // namespace mab

@@ -1,0 +1,33 @@
+#ifndef MAB_CORE_DUCB_H
+#define MAB_CORE_DUCB_H
+
+#include "core/ucb.h"
+
+namespace mab {
+
+/**
+ * The Discounted Upper Confidence Bound algorithm (Table 3, column c),
+ * the algorithm the Micro-Armed Bandit hardware implements.
+ *
+ * DUCB shares nextArm() and updRew() with UCB but discounts every
+ * selection count by gamma < 1 on each step:
+ *     n_i <- gamma * n_i  (for all i);  n_arm <- n_arm + 1.
+ * The discount acts as a forgetting factor: counts of rarely selected
+ * arms decay, their exploration bonus grows again, and the agent
+ * re-tries them — which lets it track the non-stationary behaviour of
+ * real workloads (phase changes).
+ */
+class Ducb : public Ucb
+{
+  public:
+    explicit Ducb(const MabConfig &config) : Ucb(config) {}
+
+    std::string name() const override { return "DUCB"; }
+
+  protected:
+    void updSels(ArmId arm) override;
+};
+
+} // namespace mab
+
+#endif // MAB_CORE_DUCB_H

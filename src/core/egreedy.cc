@@ -1,0 +1,13 @@
+#include "core/egreedy.h"
+
+namespace mab {
+
+ArmId
+EpsilonGreedy::nextArm()
+{
+    if (rng_.bernoulli(config_.epsilon))
+        return static_cast<ArmId>(rng_.below(config_.numArms));
+    return greedyArm();
+}
+
+} // namespace mab

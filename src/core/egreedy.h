@@ -1,0 +1,29 @@
+#ifndef MAB_CORE_EGREEDY_H
+#define MAB_CORE_EGREEDY_H
+
+#include "core/mab_policy.h"
+
+namespace mab {
+
+/**
+ * The epsilon-Greedy bandit algorithm (Table 3, column a).
+ *
+ * With probability 1 - epsilon the arm with the highest average reward
+ * so far is exploited; with probability epsilon a uniformly random arm
+ * is explored. Exploration is randomized and non-decaying, the two
+ * shortcomings that motivate UCB in the paper.
+ */
+class EpsilonGreedy : public MabPolicy
+{
+  public:
+    explicit EpsilonGreedy(const MabConfig &config) : MabPolicy(config) {}
+
+    std::string name() const override { return "eGreedy"; }
+
+  protected:
+    ArmId nextArm() override;
+};
+
+} // namespace mab
+
+#endif // MAB_CORE_EGREEDY_H

@@ -1,0 +1,64 @@
+#include "core/factory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/ducb.h"
+#include "core/egreedy.h"
+#include "core/heuristics.h"
+#include "core/hierarchical.h"
+#include "core/swucb.h"
+#include "core/thompson.h"
+#include "core/ucb.h"
+
+namespace mab {
+
+std::string
+toString(MabAlgorithm algo)
+{
+    switch (algo) {
+      case MabAlgorithm::EpsilonGreedy: return "eGreedy";
+      case MabAlgorithm::Ucb: return "UCB";
+      case MabAlgorithm::Ducb: return "DUCB";
+      case MabAlgorithm::Single: return "Single";
+      case MabAlgorithm::Periodic: return "Periodic";
+      case MabAlgorithm::SwUcb: return "SW-UCB";
+      case MabAlgorithm::Thompson: return "Thompson";
+      case MabAlgorithm::Hierarchical: return "Hierarchical";
+    }
+    return "?";
+}
+
+std::unique_ptr<MabPolicy>
+makePolicy(MabAlgorithm algo, const MabConfig &config)
+{
+    switch (algo) {
+      case MabAlgorithm::EpsilonGreedy:
+        return std::make_unique<EpsilonGreedy>(config);
+      case MabAlgorithm::Ucb:
+        return std::make_unique<Ucb>(config);
+      case MabAlgorithm::Ducb:
+        return std::make_unique<Ducb>(config);
+      case MabAlgorithm::Single:
+        return std::make_unique<SingleHeuristic>(config);
+      case MabAlgorithm::Periodic:
+        return std::make_unique<PeriodicHeuristic>(config,
+                                                   PeriodicConfig{});
+      case MabAlgorithm::SwUcb:
+        // Window sized for the same effective horizon as DUCB's
+        // 1/(1-gamma).
+        return std::make_unique<SwUcb>(
+            config,
+            std::max(config.numArms,
+                     static_cast<int>(1.0 /
+                                      (1.0 - std::min(config.gamma,
+                                                      0.9999)))));
+      case MabAlgorithm::Thompson:
+        return std::make_unique<ThompsonSampling>(config);
+      case MabAlgorithm::Hierarchical:
+        return std::make_unique<HierarchicalBandit>(config);
+    }
+    return nullptr;
+}
+
+} // namespace mab

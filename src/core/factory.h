@@ -1,0 +1,40 @@
+#ifndef MAB_CORE_FACTORY_H
+#define MAB_CORE_FACTORY_H
+
+#include <memory>
+#include <string>
+
+#include "core/mab_policy.h"
+
+namespace mab {
+
+/** Enumeration of the algorithms evaluated in Section 7.1. */
+enum class MabAlgorithm
+{
+    EpsilonGreedy,
+    Ucb,
+    Ducb,
+    Single,
+    Periodic,
+    /** Sliding-window UCB (Garivier & Moulines). */
+    SwUcb,
+    /** Gaussian Thompson sampling. */
+    Thompson,
+    /** Two-level DUCB-over-DUCBs (Section 9 extension). */
+    Hierarchical,
+};
+
+/** Human-readable name matching the paper's tables. */
+std::string toString(MabAlgorithm algo);
+
+/**
+ * Instantiate a MAB policy by algorithm id. The Periodic heuristic is
+ * created with its default PeriodicConfig; construct it directly for
+ * custom settings.
+ */
+std::unique_ptr<MabPolicy> makePolicy(MabAlgorithm algo,
+                                      const MabConfig &config);
+
+} // namespace mab
+
+#endif // MAB_CORE_FACTORY_H

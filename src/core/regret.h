@@ -1,0 +1,71 @@
+#ifndef MAB_CORE_REGRET_H
+#define MAB_CORE_REGRET_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+
+namespace mab {
+
+/**
+ * Cumulative-regret bookkeeping for synthetic bandit environments
+ * (tests and algorithm studies). Regret at each step is the gap
+ * between the best arm's true mean and the played arm's true mean;
+ * sub-linear growth distinguishes a learning policy from random or
+ * stuck behaviour.
+ */
+class RegretTracker
+{
+  public:
+    explicit RegretTracker(std::vector<double> true_means)
+        : means_(std::move(true_means))
+    {
+        best_ = *std::max_element(means_.begin(), means_.end());
+    }
+
+    /** Change the environment (phase change); regret keeps summing. */
+    void
+    setMeans(std::vector<double> true_means)
+    {
+        means_ = std::move(true_means);
+        best_ = *std::max_element(means_.begin(), means_.end());
+    }
+
+    /** Record one play of @p arm. */
+    void
+    record(ArmId arm)
+    {
+        cumulative_ += best_ - means_[arm];
+        ++steps_;
+        history_.push_back(cumulative_);
+    }
+
+    double cumulative() const { return cumulative_; }
+    uint64_t steps() const { return steps_; }
+
+    /** Mean per-step regret over the last @p window steps. */
+    double
+    recentRate(uint64_t window) const
+    {
+        if (history_.empty())
+            return 0.0;
+        const uint64_t n = std::min<uint64_t>(window, history_.size());
+        const double tail = history_.back() -
+            (history_.size() > n ? history_[history_.size() - 1 - n]
+                                 : 0.0);
+        return tail / static_cast<double>(n);
+    }
+
+  private:
+    std::vector<double> means_;
+    double best_ = 0.0;
+    double cumulative_ = 0.0;
+    uint64_t steps_ = 0;
+    std::vector<double> history_;
+};
+
+} // namespace mab
+
+#endif // MAB_CORE_REGRET_H

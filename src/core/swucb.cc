@@ -1,0 +1,62 @@
+#include "core/swucb.h"
+
+#include <cassert>
+
+namespace mab {
+
+SwUcb::SwUcb(const MabConfig &config, int window)
+    : Ucb(config), window_(window), sum_(config.numArms, 0.0)
+{
+    assert(window_ >= config.numArms &&
+           "window must cover at least one sample per arm");
+}
+
+void
+SwUcb::evictOldest()
+{
+    const Sample old = samples_.front();
+    samples_.pop_front();
+    if (old.hasReward) {
+        sum_[old.arm] -= old.reward;
+        n_[old.arm] -= 1.0;
+        nTotal_ -= 1.0;
+        recomputeArm(old.arm);
+    }
+}
+
+void
+SwUcb::recomputeArm(ArmId arm)
+{
+    // Keep at least the last known estimate when the window holds no
+    // samples of the arm; its exploration bonus (tiny n) will bring
+    // it back quickly.
+    if (n_[arm] > 0.5)
+        r_[arm] = sum_[arm] / n_[arm];
+}
+
+void
+SwUcb::updSels(ArmId arm)
+{
+    samples_.push_back({arm, 0.0, false});
+    n_[arm] += 1.0;
+    nTotal_ += 1.0;
+    while (static_cast<int>(samples_.size()) > window_)
+        evictOldest();
+}
+
+void
+SwUcb::updRew(ArmId arm, double r_step)
+{
+    // Attach the reward to the youngest pending sample of this arm.
+    for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+        if (it->arm == arm && !it->hasReward) {
+            it->hasReward = true;
+            it->reward = r_step;
+            break;
+        }
+    }
+    sum_[arm] += r_step;
+    recomputeArm(arm);
+}
+
+} // namespace mab

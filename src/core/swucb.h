@@ -1,0 +1,57 @@
+#ifndef MAB_CORE_SWUCB_H
+#define MAB_CORE_SWUCB_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/ucb.h"
+
+namespace mab {
+
+/**
+ * Sliding-Window UCB (Garivier & Moulines, the companion algorithm to
+ * DUCB in the same paper the Micro-Armed Bandit builds on).
+ *
+ * Where DUCB forgets the past with an exponential discount, SW-UCB
+ * forgets it with a hard window: only the last W observations count
+ * toward the per-arm averages and selection counts. The two
+ * algorithms have the same regret guarantees in abruptly-changing
+ * environments; SW-UCB reacts faster to a phase change but needs
+ * O(W) storage for the window, making it a costlier hardware choice —
+ * which is why the paper's agent implements DUCB. Provided here for
+ * the hyperparameter/algorithm exploration the paper's Section 9
+ * suggests.
+ */
+class SwUcb : public Ucb
+{
+  public:
+    SwUcb(const MabConfig &config, int window);
+
+    std::string name() const override { return "SW-UCB"; }
+
+    int window() const { return window_; }
+
+  protected:
+    void updSels(ArmId arm) override;
+    void updRew(ArmId arm, double r_step) override;
+
+  private:
+    void evictOldest();
+    void recomputeArm(ArmId arm);
+
+    struct Sample
+    {
+        ArmId arm;
+        double reward;
+        bool hasReward;
+    };
+
+    int window_;
+    std::deque<Sample> samples_;
+    std::vector<double> sum_;
+};
+
+} // namespace mab
+
+#endif // MAB_CORE_SWUCB_H

@@ -1,0 +1,16 @@
+#ifndef MAB_CORE_TYPES_H
+#define MAB_CORE_TYPES_H
+
+#include <cstdint>
+
+namespace mab {
+
+/** Index of a bandit arm (an action available to the agent). */
+using ArmId = int;
+
+/** Sentinel for "no arm selected yet". */
+constexpr ArmId kNoArm = -1;
+
+} // namespace mab
+
+#endif // MAB_CORE_TYPES_H

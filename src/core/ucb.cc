@@ -1,0 +1,34 @@
+#include "core/ucb.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mab {
+
+double
+Ucb::potential(ArmId arm) const
+{
+    const double log_total = std::log(std::max(nTotal_, 1.0));
+    // Discounting (in DUCB) can shrink n_i arbitrarily close to zero;
+    // floor it so that the bonus stays finite while still strongly
+    // favoring long-untried arms.
+    const double n = std::max(n_[arm], 1e-9);
+    return r_[arm] + config_.c * std::sqrt(log_total / n);
+}
+
+ArmId
+Ucb::nextArm()
+{
+    ArmId best = 0;
+    double best_pot = potential(0);
+    for (ArmId i = 1; i < config_.numArms; ++i) {
+        const double pot = potential(i);
+        if (pot > best_pot) {
+            best_pot = pot;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace mab

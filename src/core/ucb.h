@@ -1,0 +1,33 @@
+#ifndef MAB_CORE_UCB_H
+#define MAB_CORE_UCB_H
+
+#include "core/mab_policy.h"
+
+namespace mab {
+
+/**
+ * The Upper Confidence Bound bandit algorithm (Table 3, column b).
+ *
+ * Selects the arm with the highest potential
+ *     r_i + c * sqrt(ln(n_total) / n_i),
+ * so rarely-tried arms receive an exploration bonus that decays as
+ * evidence accumulates. The exploration constant c trades off
+ * exploration against exploitation.
+ */
+class Ucb : public MabPolicy
+{
+  public:
+    explicit Ucb(const MabConfig &config) : MabPolicy(config) {}
+
+    std::string name() const override { return "UCB"; }
+
+    /** Potential of @p arm: average reward plus exploration bonus. */
+    double potential(ArmId arm) const;
+
+  protected:
+    ArmId nextArm() override;
+};
+
+} // namespace mab
+
+#endif // MAB_CORE_UCB_H

@@ -1,0 +1,114 @@
+#include "cpu/classifier_bandit.h"
+
+#include <cstdlib>
+
+#include "trace/record.h"
+
+namespace mab {
+
+std::string
+toString(AccessClass cls)
+{
+    switch (cls) {
+      case AccessClass::Streaming: return "streaming";
+      case AccessClass::Strided: return "strided";
+      case AccessClass::Irregular: return "irregular";
+    }
+    return "?";
+}
+
+PatternClassifier::PatternClassifier(int window) : window_(window) {}
+
+void
+PatternClassifier::observe(uint64_t addr)
+{
+    const int64_t line =
+        static_cast<int64_t>(lineAddr(addr) / kLineBytes);
+    const int64_t delta = line - lastLine_;
+    if (lastLine_ != 0 && delta != 0) {
+        if (std::llabs(delta) <= 2)
+            ++unitRuns_;
+        else if (delta == lastDelta_)
+            ++repeatedDelta_;
+        lastDelta_ = delta;
+    }
+    lastLine_ = line;
+
+    if (++seen_ >= window_)
+        reclassify();
+}
+
+void
+PatternClassifier::reclassify()
+{
+    // Plurality vote with a noise floor of a third of the window.
+    if (unitRuns_ * 3 >= seen_ &&
+        unitRuns_ >= repeatedDelta_) {
+        current_ = AccessClass::Streaming;
+    } else if (repeatedDelta_ * 3 >= seen_) {
+        current_ = AccessClass::Strided;
+    } else {
+        current_ = AccessClass::Irregular;
+    }
+    seen_ = 0;
+    unitRuns_ = 0;
+    repeatedDelta_ = 0;
+}
+
+ClassifierBanditController::ClassifierBanditController(
+    MabAlgorithm algorithm, const MabConfig &mab,
+    const BanditHwConfig &hw)
+{
+    MabConfig cfg = mab;
+    cfg.numArms = BanditEnsemblePrefetcher::numArms();
+    for (int i = 0; i < kClasses; ++i) {
+        MabConfig per_class = cfg;
+        per_class.seed = cfg.seed + static_cast<uint64_t>(i) * 7789;
+        agents_[i] = std::make_unique<BanditAgent>(
+            makePolicy(algorithm, per_class), hw);
+    }
+    ensemble_.applyArm(agents_[0]->selectedArm());
+}
+
+BanditAgent &
+ClassifierBanditController::agentFor(AccessClass cls)
+{
+    return *agents_[static_cast<int>(cls)];
+}
+
+void
+ClassifierBanditController::onAccess(const PrefetchAccess &access,
+                                     std::vector<uint64_t> &out)
+{
+    classifier_.observe(access.addr);
+    BanditAgent &agent = agentFor(classifier_.current());
+
+    const ArmId arm = agent.armAt(access.cycle);
+    if (arm != ensemble_.currentArm())
+        ensemble_.applyArm(arm);
+
+    ensemble_.onAccess(access, out);
+
+    // Only the active class's agent learns from this step: the IPC
+    // during the window is attributed to the regime that produced it.
+    agent.tick(1, access.instrCount, access.cycle);
+}
+
+uint64_t
+ClassifierBanditController::storageBytes() const
+{
+    uint64_t total = 16; // classifier state
+    for (const auto &agent : agents_)
+        total += agent->storageBytes();
+    return total;
+}
+
+void
+ClassifierBanditController::reset()
+{
+    ensemble_.reset();
+    for (auto &agent : agents_)
+        agent->policy().reset();
+}
+
+} // namespace mab

@@ -1,0 +1,94 @@
+#ifndef MAB_CPU_CLASSIFIER_BANDIT_H
+#define MAB_CPU_CLASSIFIER_BANDIT_H
+
+#include <array>
+#include <memory>
+
+#include "core/bandit_agent.h"
+#include "core/factory.h"
+#include "prefetch/ensemble.h"
+#include "prefetch/prefetcher.h"
+
+namespace mab {
+
+/** Access-pattern classes distinguished by the online classifier. */
+enum class AccessClass
+{
+    /** Dense forward runs (unit line deltas dominate). */
+    Streaming,
+    /** Repeating constant non-unit deltas. */
+    Strided,
+    /** No dominant delta. */
+    Irregular,
+};
+
+std::string toString(AccessClass cls);
+
+/**
+ * Lightweight online access-pattern classifier: a histogram of the
+ * line deltas seen in a sliding window of L2 demand accesses,
+ * periodically collapsed to a class. Modeled on the classification
+ * schemes the paper cites (IPCP's IP classes, Ayers et al.).
+ */
+class PatternClassifier
+{
+  public:
+    explicit PatternClassifier(int window = 256);
+
+    /** Observe one demand access (line address in bytes). */
+    void observe(uint64_t addr);
+
+    /** Current class (recomputed every window). */
+    AccessClass current() const { return current_; }
+
+  private:
+    void reclassify();
+
+    int window_;
+    int seen_ = 0;
+    int unitRuns_ = 0;
+    int repeatedDelta_ = 0;
+    int64_t lastLine_ = 0;
+    int64_t lastDelta_ = 0;
+    AccessClass current_ = AccessClass::Irregular;
+};
+
+/**
+ * Classifier-augmented Micro-Armed Bandit (the final Section 9
+ * extension): a pattern classifier routes each program phase to a
+ * dedicated per-class Bandit, so the agent can hold different best
+ * arms for different access regimes concurrently — a middle point
+ * between the single-state MAB and full contextual bandits.
+ *
+ * Storage: 3 agents x 11 arms x 8B = 264B plus the classifier
+ * histogramless state — still orders of magnitude below Pythia.
+ */
+class ClassifierBanditController : public Prefetcher
+{
+  public:
+    explicit ClassifierBanditController(
+        MabAlgorithm algorithm = MabAlgorithm::Ducb,
+        const MabConfig &mab = {}, const BanditHwConfig &hw = {});
+
+    void onAccess(const PrefetchAccess &access,
+                  std::vector<uint64_t> &out) override;
+
+    std::string name() const override { return "ClassifierBandit"; }
+    uint64_t storageBytes() const override;
+    void reset() override;
+
+    AccessClass currentClass() const { return classifier_.current(); }
+    BanditAgent &agentFor(AccessClass cls);
+    BanditEnsemblePrefetcher &ensemble() { return ensemble_; }
+
+  private:
+    static constexpr int kClasses = 3;
+
+    PatternClassifier classifier_;
+    BanditEnsemblePrefetcher ensemble_;
+    std::array<std::unique_ptr<BanditAgent>, kClasses> agents_;
+};
+
+} // namespace mab
+
+#endif // MAB_CPU_CLASSIFIER_BANDIT_H

@@ -1,0 +1,112 @@
+#include "cpu/core_model.h"
+
+#include <algorithm>
+
+namespace mab {
+
+CoreModel::CoreModel(const CoreConfig &config,
+                     const HierarchyConfig &hconfig, TraceSource &trace,
+                     Prefetcher *l2Prefetcher, Prefetcher *l1Prefetcher,
+                     const DramConfig &dram)
+    : config_(config), hierarchy_(hconfig, dram), trace_(trace),
+      l2Prefetcher_(l2Prefetcher), l1Prefetcher_(l1Prefetcher),
+      robCommit_(config.robSize, 0.0)
+{
+}
+
+CoreModel::CoreModel(const CoreConfig &config,
+                     const HierarchyConfig &hconfig, Cache *sharedLlc,
+                     Dram *sharedDram, TraceSource &trace,
+                     Prefetcher *l2Prefetcher, Prefetcher *l1Prefetcher)
+    : config_(config), hierarchy_(hconfig, sharedLlc, sharedDram),
+      trace_(trace), l2Prefetcher_(l2Prefetcher),
+      l1Prefetcher_(l1Prefetcher), robCommit_(config.robSize, 0.0)
+{
+}
+
+void
+CoreModel::issuePrefetches(const PrefetchAccess &access, bool at_l1)
+{
+    Prefetcher *pf = at_l1 ? l1Prefetcher_ : l2Prefetcher_;
+    pfScratch_.clear();
+    pf->onAccess(access, pfScratch_);
+    const uint64_t issue_cycle = access.cycle +
+        config_.prefetchIssueLatency;
+    for (uint64_t addr : pfScratch_) {
+        if (at_l1)
+            hierarchy_.issueL1Prefetch(addr, issue_cycle);
+        else
+            hierarchy_.issuePrefetch(addr, issue_cycle);
+    }
+}
+
+void
+CoreModel::stepOne()
+{
+    const TraceRecord rec = trace_.next();
+    const size_t slot = instructions_ %
+        static_cast<size_t>(config_.robSize);
+
+    // Dispatch: the frontend must have the instruction (fetch clock,
+    // possibly stalled by a misprediction) and the ROB entry of
+    // instruction i - robSize must have committed.
+    double dispatch = std::max(fetchClock_, robCommit_[slot]);
+    dispatch = std::max(dispatch,
+                        static_cast<double>(frontendStallUntil_));
+    fetchClock_ = dispatch + 1.0 / config_.fetchWidth;
+
+    double complete = dispatch + 1.0;
+    if (rec.isMemory()) {
+        uint64_t issue_cycle = static_cast<uint64_t>(dispatch);
+        if (rec.dependsOnPrevLoad)
+            issue_cycle = std::max(issue_cycle, prevLoadDone_);
+
+        const auto res = hierarchy_.demandAccess(rec.addr, rec.isStore,
+                                                 issue_cycle);
+        if (rec.isLoad) {
+            complete = std::max(complete,
+                                static_cast<double>(res.readyCycle));
+            prevLoadDone_ = res.readyCycle;
+        }
+        // Stores commit without waiting for memory (store buffer).
+
+        if (l2Prefetcher_ && res.level != HitLevel::L1) {
+            PrefetchAccess pa;
+            pa.pc = rec.pc;
+            pa.addr = rec.addr;
+            pa.hit = res.level == HitLevel::L2;
+            pa.cycle = issue_cycle;
+            pa.instrCount = instructions_;
+            issuePrefetches(pa, false);
+        }
+        if (l1Prefetcher_) {
+            PrefetchAccess pa;
+            pa.pc = rec.pc;
+            pa.addr = rec.addr;
+            pa.hit = res.level == HitLevel::L1;
+            pa.cycle = issue_cycle;
+            pa.instrCount = instructions_;
+            issuePrefetches(pa, true);
+        }
+    }
+
+    if (rec.isBranch && rec.mispredicted) {
+        frontendStallUntil_ = static_cast<uint64_t>(complete) +
+            config_.branchMissPenalty;
+    }
+
+    // In-order commit at commitWidth per cycle.
+    commitClock_ = std::max(commitClock_ + 1.0 / config_.commitWidth,
+                            complete);
+    robCommit_[slot] = commitClock_;
+    ++instructions_;
+}
+
+void
+CoreModel::run(uint64_t instructions)
+{
+    while (instructions_ < instructions)
+        stepOne();
+}
+
+} // namespace mab

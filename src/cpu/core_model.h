@@ -1,0 +1,113 @@
+#ifndef MAB_CPU_CORE_MODEL_H
+#define MAB_CPU_CORE_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "memory/hierarchy.h"
+#include "prefetch/prefetcher.h"
+#include "trace/generator.h"
+
+namespace mab {
+
+/** Core parameters (Table 4 defaults; Skylake-like). */
+struct CoreConfig
+{
+    /** Instructions entering the window per cycle. */
+    int fetchWidth = 6;
+
+    /** Reorder-buffer entries bounding in-flight instructions. */
+    int robSize = 256;
+
+    /** In-order commit bandwidth. */
+    int commitWidth = 4;
+
+    /** Frontend refill penalty of a mispredicted branch, cycles. */
+    uint64_t branchMissPenalty = 14;
+
+    /** Cycles between a prefetch decision and its issue to the
+     *  memory system. */
+    uint64_t prefetchIssueLatency = 10;
+};
+
+/**
+ * Trace-driven out-of-order core timing model (the ChampSim stand-in;
+ * see DESIGN.md).
+ *
+ * The model is a ROB-window limit study: instruction i cannot enter
+ * the window before instruction i - robSize has committed, independent
+ * loads overlap their memory latency within the window (bounded by the
+ * hierarchy's MSHRs), dependent loads (pointer chases) serialize, and
+ * mispredicted branches stall the frontend. Commit is in-order at
+ * commitWidth per cycle. This reproduces the first-order phenomena
+ * prefetching interacts with: memory-level parallelism, bandwidth
+ * contention, and pollution.
+ *
+ * The L2 prefetcher is trained on every demand access that reaches
+ * the L2 (i.e. on L1 misses) and its requests are issued to the
+ * hierarchy, which fills L2 + LLC. An optional L1 prefetcher observes
+ * all demand accesses and fills the L1.
+ */
+class CoreModel
+{
+  public:
+    CoreModel(const CoreConfig &config, const HierarchyConfig &hconfig,
+              TraceSource &trace, Prefetcher *l2Prefetcher,
+              Prefetcher *l1Prefetcher = nullptr,
+              const DramConfig &dram = {});
+
+    /** Hierarchy with shared LLC/DRAM (multi-core experiments). */
+    CoreModel(const CoreConfig &config, const HierarchyConfig &hconfig,
+              Cache *sharedLlc, Dram *sharedDram, TraceSource &trace,
+              Prefetcher *l2Prefetcher,
+              Prefetcher *l1Prefetcher = nullptr);
+
+    /** Execute one instruction of the trace. */
+    void stepOne();
+
+    /** Run until @p instructions have been committed in total. */
+    void run(uint64_t instructions);
+
+    uint64_t instructions() const { return instructions_; }
+
+    /** Committed cycles so far (the in-order commit clock). */
+    uint64_t cycles() const
+    {
+        return static_cast<uint64_t>(commitClock_);
+    }
+
+    double
+    ipc() const
+    {
+        const uint64_t c = cycles();
+        return c == 0 ? 0.0
+                      : static_cast<double>(instructions_) / c;
+    }
+
+    CacheHierarchy &hierarchy() { return hierarchy_; }
+    const CacheHierarchy &hierarchy() const { return hierarchy_; }
+
+  private:
+    void issuePrefetches(const PrefetchAccess &access, bool at_l1);
+
+    CoreConfig config_;
+    CacheHierarchy hierarchy_;
+    TraceSource &trace_;
+    Prefetcher *l2Prefetcher_;
+    Prefetcher *l1Prefetcher_;
+
+    uint64_t instructions_ = 0;
+    double fetchClock_ = 0.0;
+    double commitClock_ = 0.0;
+    uint64_t frontendStallUntil_ = 0;
+    uint64_t prevLoadDone_ = 0;
+
+    /** Commit cycles of the last robSize instructions (ring). */
+    std::vector<double> robCommit_;
+
+    std::vector<uint64_t> pfScratch_;
+};
+
+} // namespace mab
+
+#endif // MAB_CPU_CORE_MODEL_H

@@ -1,0 +1,100 @@
+#include "cpu/joint_bandit.h"
+
+namespace mab {
+
+const std::array<L1Arm, 3> &
+jointL1ArmTable()
+{
+    static const std::array<L1Arm, 3> arms = {{
+        {0}, // L1 prefetching off
+        {1}, // conservative stride
+        {4}, // aggressive stride
+    }};
+    return arms;
+}
+
+int
+JointBanditController::numArms()
+{
+    return static_cast<int>(jointL1ArmTable().size()) *
+        BanditEnsemblePrefetcher::numArms();
+}
+
+int
+JointBanditController::l1ComponentOf(ArmId arm)
+{
+    return arm / BanditEnsemblePrefetcher::numArms();
+}
+
+int
+JointBanditController::l2ComponentOf(ArmId arm)
+{
+    return arm % BanditEnsemblePrefetcher::numArms();
+}
+
+JointBanditController::JointBanditController(MabAlgorithm algorithm,
+                                             const MabConfig &mab,
+                                             const BanditHwConfig &hw)
+    : l1Stride_(64, 0), l1View_(this), l2View_(this)
+{
+    MabConfig cfg = mab;
+    cfg.numArms = numArms();
+    agent_ = std::make_unique<BanditAgent>(makePolicy(algorithm, cfg),
+                                           hw);
+    applyArm(agent_->selectedArm());
+}
+
+void
+JointBanditController::applyArm(ArmId arm)
+{
+    l1Stride_.setDegree(jointL1ArmTable()[l1ComponentOf(arm)]
+                            .strideDegree);
+    l2Ensemble_.applyArm(l2ComponentOf(arm));
+}
+
+void
+JointBanditController::L1View::onAccess(const PrefetchAccess &access,
+                                        std::vector<uint64_t> &out)
+{
+    owner_->l1Stride_.onAccess(access, out);
+}
+
+uint64_t
+JointBanditController::L1View::storageBytes() const
+{
+    return owner_->l1Stride_.storageBytes();
+}
+
+void
+JointBanditController::L1View::reset()
+{
+    owner_->l1Stride_.reset();
+}
+
+void
+JointBanditController::L2View::onAccess(const PrefetchAccess &access,
+                                        std::vector<uint64_t> &out)
+{
+    // The L2 view owns step accounting: apply the latency-delayed
+    // arm, forward to the ensemble, advance the agent.
+    const ArmId arm = owner_->agent_->armAt(access.cycle);
+    owner_->applyArm(arm);
+    owner_->l2Ensemble_.onAccess(access, out);
+    owner_->agent_->tick(1, access.instrCount, access.cycle);
+}
+
+uint64_t
+JointBanditController::L2View::storageBytes() const
+{
+    return owner_->agent_->storageBytes() +
+        owner_->l2Ensemble_.storageBytes();
+}
+
+void
+JointBanditController::L2View::reset()
+{
+    owner_->l2Ensemble_.reset();
+    owner_->agent_->policy().reset();
+}
+
+} // namespace mab

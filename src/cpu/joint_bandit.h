@@ -1,0 +1,102 @@
+#ifndef MAB_CPU_JOINT_BANDIT_H
+#define MAB_CPU_JOINT_BANDIT_H
+
+#include <array>
+#include <memory>
+
+#include "core/bandit_agent.h"
+#include "core/factory.h"
+#include "prefetch/ensemble.h"
+#include "prefetch/stride.h"
+
+namespace mab {
+
+/** L1 prefetcher configurations the joint agent can select. */
+struct L1Arm
+{
+    /** Degree of the L1 stride prefetcher (0 = off). */
+    int strideDegree = 0;
+};
+
+/** The 3 L1 arms of the joint action space. */
+const std::array<L1Arm, 3> &jointL1ArmTable();
+
+/**
+ * The "single Bandit controlling multiple ensembles" extension of
+ * Section 9: one agent jointly selects the L1 prefetcher
+ * configuration and the L2 ensemble arm. The action space is the
+ * product of the two spaces (3 x 11 = 33 arms), exactly as the paper
+ * computes it, and the storage still rounds to a few hundred bytes.
+ *
+ * The object exposes two Prefetcher views — l1View() to install at
+ * the L1 and l2View() at the L2 — that share one agent. The L2 view
+ * drives the bandit step (one unit per L2 demand access).
+ */
+class JointBanditController
+{
+  public:
+    explicit JointBanditController(
+        MabAlgorithm algorithm = MabAlgorithm::Ducb,
+        const MabConfig &mab = {}, const BanditHwConfig &hw = {});
+
+    Prefetcher *l1View() { return &l1View_; }
+    Prefetcher *l2View() { return &l2View_; }
+
+    BanditAgent &agent() { return *agent_; }
+    const BanditAgent &agent() const { return *agent_; }
+
+    static int numArms();
+
+    /** Decode a joint arm into its (L1, L2) components. */
+    static int l1ComponentOf(ArmId arm);
+    static int l2ComponentOf(ArmId arm);
+
+  private:
+    void applyArm(ArmId arm);
+
+    class L1View : public Prefetcher
+    {
+      public:
+        explicit L1View(JointBanditController *owner)
+            : owner_(owner)
+        {
+        }
+
+        void onAccess(const PrefetchAccess &access,
+                      std::vector<uint64_t> &out) override;
+        std::string name() const override { return "JointBandit.L1"; }
+        uint64_t storageBytes() const override;
+        void reset() override;
+
+      private:
+        JointBanditController *owner_;
+    };
+
+    class L2View : public Prefetcher
+    {
+      public:
+        explicit L2View(JointBanditController *owner)
+            : owner_(owner)
+        {
+        }
+
+        void onAccess(const PrefetchAccess &access,
+                      std::vector<uint64_t> &out) override;
+        std::string name() const override { return "JointBandit.L2"; }
+        uint64_t storageBytes() const override;
+        void reset() override;
+
+      private:
+        JointBanditController *owner_;
+    };
+
+    StridePrefetcher l1Stride_;
+    BanditEnsemblePrefetcher l2Ensemble_;
+    std::unique_ptr<BanditAgent> agent_;
+    L1View l1View_;
+    L2View l2View_;
+};
+
+} // namespace mab
+
+#endif // MAB_CPU_JOINT_BANDIT_H

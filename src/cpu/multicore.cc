@@ -1,0 +1,68 @@
+#include "cpu/multicore.h"
+
+#include <cassert>
+#include <limits>
+
+namespace mab {
+
+MultiCoreSystem::MultiCoreSystem(const CoreConfig &config,
+                                 const HierarchyConfig &hconfig,
+                                 const DramConfig &dram, int numCores)
+    : coreConfig_(config), hierConfig_(hconfig)
+{
+    CacheConfig shared_llc = hconfig.llc;
+    shared_llc.sizeBytes *= static_cast<uint64_t>(numCores);
+    llc_ = std::make_unique<Cache>(shared_llc);
+    dram_ = std::make_unique<Dram>(dram);
+    cores_.resize(numCores);
+}
+
+void
+MultiCoreSystem::attachCore(int index, TraceSource &trace,
+                            Prefetcher *l2pf)
+{
+    assert(index >= 0 && index < static_cast<int>(cores_.size()));
+    cores_[index] = std::make_unique<CoreModel>(
+        coreConfig_, hierConfig_, llc_.get(), dram_.get(), trace, l2pf);
+}
+
+MultiCoreResult
+MultiCoreSystem::run(uint64_t instrPerCore)
+{
+    const int n = static_cast<int>(cores_.size());
+    for (int i = 0; i < n; ++i)
+        assert(cores_[i] && "attachCore() missing for a core");
+
+    MultiCoreResult result;
+    result.ipc.assign(n, 0.0);
+    std::vector<bool> recorded(n, false);
+    int remaining = n;
+
+    while (remaining > 0) {
+        // Advance the core whose commit clock is furthest behind so
+        // that all cores see a consistent shared-DRAM timeline.
+        int pick = -1;
+        uint64_t best = std::numeric_limits<uint64_t>::max();
+        for (int i = 0; i < n; ++i) {
+            const uint64_t c = cores_[i]->cycles();
+            if (c < best) {
+                best = c;
+                pick = i;
+            }
+        }
+        cores_[pick]->stepOne();
+
+        if (!recorded[pick] &&
+            cores_[pick]->instructions() >= instrPerCore) {
+            recorded[pick] = true;
+            result.ipc[pick] = cores_[pick]->ipc();
+            --remaining;
+        }
+    }
+
+    for (double ipc : result.ipc)
+        result.sumIpc += ipc;
+    return result;
+}
+
+} // namespace mab

@@ -1,0 +1,117 @@
+#include "memory/cache.h"
+
+#include <cassert>
+
+#include "trace/record.h"
+
+namespace mab {
+
+Cache::Cache(const CacheConfig &config) : config_(config)
+{
+    assert(config_.ways > 0);
+    numSets_ = config_.sizeBytes / (kLineBytes * config_.ways);
+    assert(numSets_ > 0 && (numSets_ & (numSets_ - 1)) == 0 &&
+           "cache sets must be a nonzero power of two");
+    lines_.assign(numSets_ * config_.ways, Line{});
+}
+
+Cache::Line *
+Cache::findLine(uint64_t line)
+{
+    const uint64_t set = (line / kLineBytes) & (numSets_ - 1);
+    Line *base = &lines_[set * config_.ways];
+    for (int w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(uint64_t line) const
+{
+    return const_cast<Cache *>(this)->findLine(line);
+}
+
+Cache::LookupResult
+Cache::lookupDemand(uint64_t line, uint64_t cycle)
+{
+    LookupResult res;
+    Line *l = findLine(line);
+    if (!l) {
+        ++demandMisses;
+        return res;
+    }
+    ++demandHits;
+    res.hit = true;
+    res.readyCycle = l->readyCycle;
+    res.inflight = l->readyCycle > cycle;
+    if (l->prefetched && !l->used)
+        res.prefetchFirstUse = true;
+    l->used = true;
+    l->lastUse = ++useTick_;
+    return res;
+}
+
+bool
+Cache::contains(uint64_t line) const
+{
+    return findLine(line) != nullptr;
+}
+
+Cache::EvictInfo
+Cache::fill(uint64_t line, uint64_t readyCycle, bool prefetch)
+{
+    EvictInfo info;
+    if (Line *existing = findLine(line)) {
+        // Already present: a demand fill promotes a prefetched line.
+        if (!prefetch)
+            existing->prefetched = false;
+        return info;
+    }
+
+    const uint64_t set = (line / kLineBytes) & (numSets_ - 1);
+    Line *base = &lines_[set * config_.ways];
+    Line *victim = &base[0];
+    for (int w = 0; w < config_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+
+    if (victim->valid) {
+        info.evictedValid = true;
+        info.evictedLine = victim->tag;
+        info.evictedUnusedPrefetch = victim->prefetched && !victim->used;
+    }
+
+    victim->tag = line;
+    victim->valid = true;
+    victim->readyCycle = readyCycle;
+    victim->prefetched = prefetch;
+    victim->used = false;
+    victim->lastUse = ++useTick_;
+    return info;
+}
+
+void
+Cache::invalidate(uint64_t line)
+{
+    if (Line *l = findLine(line))
+        l->valid = false;
+}
+
+void
+Cache::clear()
+{
+    for (auto &l : lines_)
+        l = Line{};
+    demandHits = 0;
+    demandMisses = 0;
+    useTick_ = 0;
+}
+
+} // namespace mab

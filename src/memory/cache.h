@@ -1,0 +1,109 @@
+#ifndef MAB_MEMORY_CACHE_H
+#define MAB_MEMORY_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mab {
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    uint64_t sizeBytes = 32 * 1024;
+    int ways = 8;
+    /** Cycles to serve a hit at this level. */
+    uint64_t hitLatency = 4;
+};
+
+/**
+ * A set-associative, LRU, write-allocate cache model.
+ *
+ * Timing is handled by the owner (Hierarchy): each line carries the
+ * cycle at which its fill completes (readyCycle), so an access that
+ * arrives while the fill is still in flight models an MSHR merge
+ * rather than a fresh miss. Lines filled by a prefetcher are tagged
+ * so that the hierarchy can classify prefetches as timely (demand hit
+ * after the fill completed), late (demand hit while still in flight)
+ * or wrong (evicted without a demand use) — the taxonomy of Figure 9.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /** Outcome of a demand lookup. */
+    struct LookupResult
+    {
+        /** Line present (possibly still in flight). */
+        bool hit = false;
+        /** Line present but its fill has not completed yet. */
+        bool inflight = false;
+        /** Cycle at which the data is available (valid if hit). */
+        uint64_t readyCycle = 0;
+        /** First demand touch of a prefetched line. */
+        bool prefetchFirstUse = false;
+    };
+
+    /**
+     * Demand lookup for @p line at @p cycle. Updates recency and
+     * clears the prefetched tag on first use.
+     */
+    LookupResult lookupDemand(uint64_t line, uint64_t cycle);
+
+    /** Non-updating presence check (used by prefetch filtering). */
+    bool contains(uint64_t line) const;
+
+    /** Information about the victim of a fill. */
+    struct EvictInfo
+    {
+        bool evictedValid = false;
+        /** The victim was a prefetched line never demanded. */
+        bool evictedUnusedPrefetch = false;
+        uint64_t evictedLine = 0;
+    };
+
+    /**
+     * Insert @p line; its data becomes usable at @p readyCycle.
+     * If the line is already present the existing entry is kept (a
+     * prefetch into a present line is a no-op; a demand fill clears
+     * the prefetched tag).
+     */
+    EvictInfo fill(uint64_t line, uint64_t readyCycle, bool prefetch);
+
+    /** Remove @p line if present (back-invalidation support). */
+    void invalidate(uint64_t line);
+
+    /** Reset contents and statistics. */
+    void clear();
+
+    const CacheConfig &config() const { return config_; }
+    uint64_t numSets() const { return numSets_; }
+
+    uint64_t demandHits = 0;
+    uint64_t demandMisses = 0;
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t readyCycle = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+        bool prefetched = false;
+        bool used = false;
+    };
+
+    Line *findLine(uint64_t line);
+    const Line *findLine(uint64_t line) const;
+
+    CacheConfig config_;
+    uint64_t numSets_;
+    std::vector<Line> lines_;
+    uint64_t useTick_ = 0;
+};
+
+} // namespace mab
+
+#endif // MAB_MEMORY_CACHE_H

@@ -1,0 +1,54 @@
+#include "memory/dram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "trace/record.h"
+
+namespace mab {
+
+Dram::Dram(const DramConfig &config) : config_(config)
+{
+    assert(config_.mtps > 0 && config_.busBytes > 0);
+    const double transfers_per_line =
+        static_cast<double>(kLineBytes) / config_.busBytes;
+    const double core_hz = config_.coreGhz * 1e9;
+    const double transfer_hz = config_.mtps * 1e6;
+    cyclesPerLine_ = transfers_per_line * core_hz / transfer_hz;
+}
+
+uint64_t
+Dram::schedule(uint64_t cycle, bool demand)
+{
+    const double now = static_cast<double>(cycle);
+    double start;
+    if (demand) {
+        // Demand reads queue only behind older demand traffic (the
+        // controller deprioritizes / preempts queued prefetches).
+        start = std::max(now, demandFreeAt_);
+        demandFreeAt_ = start + cyclesPerLine_;
+        allFreeAt_ = std::max(allFreeAt_, demandFreeAt_);
+    } else {
+        // Prefetches queue behind everything.
+        start = std::max(now, allFreeAt_);
+        allFreeAt_ = start + cyclesPerLine_;
+    }
+    busFreeAt_ = static_cast<uint64_t>(allFreeAt_);
+    ++transfers_;
+
+    const double queue_wait = start - now;
+    return cycle + config_.baseLatencyCycles +
+        static_cast<uint64_t>(queue_wait + cyclesPerLine_);
+}
+
+void
+Dram::reset()
+{
+    demandFreeAt_ = 0.0;
+    allFreeAt_ = 0.0;
+    busFreeAt_ = 0;
+    transfers_ = 0;
+}
+
+} // namespace mab

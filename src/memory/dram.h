@@ -1,0 +1,73 @@
+#ifndef MAB_MEMORY_DRAM_H
+#define MAB_MEMORY_DRAM_H
+
+#include <cstdint>
+
+namespace mab {
+
+/** DRAM channel configuration. */
+struct DramConfig
+{
+    /** Transfer rate in mega-transfers per second (Figure 10 sweeps
+     *  150 / 600 / 2400 / 9600). */
+    double mtps = 2400.0;
+
+    /** Bus width: bytes moved per transfer. */
+    int busBytes = 8;
+
+    /** Core clock in GHz (Table 4: 4 GHz). */
+    double coreGhz = 4.0;
+
+    /** Idle (unloaded) access latency in core cycles (~75ns). */
+    uint64_t baseLatencyCycles = 300;
+};
+
+/**
+ * A bandwidth-limited DRAM channel with demand-over-prefetch
+ * priority.
+ *
+ * Every line transfer occupies the data bus for a rate-dependent
+ * number of core cycles — the property the Bandit exploits in
+ * bandwidth-constrained configurations (Figure 10). Demand fetches
+ * are scheduled against the demand-traffic backlog only (modeling a
+ * memory controller that prioritizes demand reads and preempts
+ * queued prefetches), while prefetches queue behind all traffic.
+ */
+class Dram
+{
+  public:
+    explicit Dram(const DramConfig &config);
+
+    /**
+     * Schedule a 64-byte line fetch arriving at @p cycle.
+     * @param demand true for demand fetches (scheduled with
+     *        priority), false for prefetches.
+     * @return the cycle at which the data arrives at the LLC.
+     */
+    uint64_t schedule(uint64_t cycle, bool demand = true);
+
+    /** Core cycles one line transfer occupies the bus. */
+    double cyclesPerLine() const { return cyclesPerLine_; }
+
+    /** Total line transfers serviced. */
+    uint64_t transfers() const { return transfers_; }
+
+    /** Cycle at which the bus frees up (for occupancy tests). */
+    uint64_t busFreeCycle() const { return busFreeAt_; }
+
+    void reset();
+
+  private:
+    DramConfig config_;
+    double cyclesPerLine_;
+    /** Bus-free time considering demand traffic only. */
+    double demandFreeAt_ = 0.0;
+    /** Bus-free time considering all traffic. */
+    double allFreeAt_ = 0.0;
+    uint64_t busFreeAt_ = 0;
+    uint64_t transfers_ = 0;
+};
+
+} // namespace mab
+
+#endif // MAB_MEMORY_DRAM_H

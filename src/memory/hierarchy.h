@@ -1,0 +1,167 @@
+#ifndef MAB_MEMORY_HIERARCHY_H
+#define MAB_MEMORY_HIERARCHY_H
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "memory/cache.h"
+#include "memory/dram.h"
+
+namespace mab {
+
+/** Configuration of a core's cache hierarchy (Table 4 defaults). */
+struct HierarchyConfig
+{
+    CacheConfig l1{"L1", 32 * 1024, 8, 4};
+    CacheConfig l2{"L2", 256 * 1024, 8, 14};
+    CacheConfig llc{"LLC", 2 * 1024 * 1024, 16, 34};
+
+    /** Outstanding demand misses to memory per core. */
+    int mshrEntries = 16;
+
+    /** Outstanding prefetches per core; extras are dropped. */
+    int prefetchQueueMax = 64;
+};
+
+/** Alternative hierarchy of Figure 11 (L2 = 1MB, LLC = 1.5MB/core). */
+HierarchyConfig skylakeLikeAltConfig();
+
+/** Level that served a demand access. */
+enum class HitLevel
+{
+    L1,
+    L2,
+    Llc,
+    Dram,
+};
+
+/** Prefetch outcome counters (the Figure 9 taxonomy). */
+struct PrefetchStats
+{
+    uint64_t issued = 0;
+    /** Demand hit a prefetched line whose fill had completed. */
+    uint64_t timely = 0;
+    /** Demand hit a prefetched line still in flight. */
+    uint64_t late = 0;
+    /** Prefetched line evicted from L2 without a demand use. */
+    uint64_t wrong = 0;
+    /** Prefetches not issued because the queue/MSHRs were full. */
+    uint64_t dropped = 0;
+};
+
+/**
+ * Bounded tracker of in-flight memory operations (an MSHR file /
+ * prefetch queue occupancy model).
+ */
+class InflightTracker
+{
+  public:
+    explicit InflightTracker(int capacity) : capacity_(capacity) {}
+
+    /** Retire operations that completed at or before @p cycle. */
+    void prune(uint64_t cycle);
+
+    bool full() const
+    {
+        return static_cast<int>(heap_.size()) >= capacity_;
+    }
+
+    /** Register an operation completing at @p doneCycle. */
+    void add(uint64_t doneCycle) { heap_.push(doneCycle); }
+
+    /** Earliest outstanding completion (0 when empty). */
+    uint64_t earliest() const { return heap_.empty() ? 0 : heap_.top(); }
+
+    size_t size() const { return heap_.size(); }
+    void clear();
+
+  private:
+    int capacity_;
+    std::priority_queue<uint64_t, std::vector<uint64_t>,
+                        std::greater<>> heap_;
+};
+
+/**
+ * A core's view of the memory system: private L1 and L2, plus an LLC
+ * and DRAM channel that may be shared with other cores (multi-core
+ * experiments pass shared instances; single-core hierarchies own
+ * theirs).
+ *
+ * The L2 prefetcher contract matches the paper's setup: the prefetcher
+ * is trained on L1 misses (every demand access that reaches the L2)
+ * and fills prefetched lines into the L2 and the LLC. Prefetch
+ * classification is attributed at the L2, the prefetcher's home level:
+ * timely = first demand use after the fill completed; late = first
+ * demand use while in flight; wrong = evicted from L2 untouched.
+ */
+class CacheHierarchy
+{
+  public:
+    /** Fully private hierarchy (single-core). */
+    explicit CacheHierarchy(const HierarchyConfig &config,
+                            const DramConfig &dram = {});
+
+    /** Hierarchy with shared LLC and DRAM (multi-core). */
+    CacheHierarchy(const HierarchyConfig &config, Cache *sharedLlc,
+                   Dram *sharedDram);
+
+    struct AccessResult
+    {
+        uint64_t readyCycle = 0;
+        HitLevel level = HitLevel::L1;
+    };
+
+    /** Demand load/store at @p cycle. */
+    AccessResult demandAccess(uint64_t addr, bool isStore,
+                              uint64_t cycle);
+
+    /**
+     * Issue an L2 prefetch for @p addr. Returns false if it was
+     * filtered (already present) or dropped (queues full).
+     */
+    bool issuePrefetch(uint64_t addr, uint64_t cycle);
+
+    /**
+     * Issue an L1 prefetch for @p addr (multi-level configurations,
+     * Figure 12). Fills the L1 (and lower levels on a full miss);
+     * L1-initiated fills are not counted in the L2 prefetch taxonomy.
+     */
+    bool issueL1Prefetch(uint64_t addr, uint64_t cycle);
+
+    Cache &l1() { return l1_; }
+    Cache &l2() { return l2_; }
+    Cache &llc() { return *llc_; }
+    Dram &dram() { return *dram_; }
+
+    const PrefetchStats &prefetchStats() const { return pfStats_; }
+
+    /** Demand accesses that reached the L2 (the bandit step unit). */
+    uint64_t l2DemandAccesses() const { return l2DemandAccesses_; }
+
+    /** Demand misses that had to go to DRAM. */
+    uint64_t llcDemandMisses() const { return llcDemandMisses_; }
+
+  private:
+    void countL2Eviction(const Cache::EvictInfo &info);
+
+    HierarchyConfig config_;
+    Cache l1_;
+    Cache l2_;
+    std::unique_ptr<Cache> ownedLlc_;
+    std::unique_ptr<Dram> ownedDram_;
+    Cache *llc_;
+    Dram *dram_;
+
+    InflightTracker demandMshr_;
+    InflightTracker prefetchQueue_;
+
+    PrefetchStats pfStats_;
+    uint64_t l2DemandAccesses_ = 0;
+    uint64_t llcDemandMisses_ = 0;
+};
+
+} // namespace mab
+
+#endif // MAB_MEMORY_HIERARCHY_H

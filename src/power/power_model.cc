@@ -1,0 +1,49 @@
+#include "power/power_model.h"
+
+namespace mab {
+
+BanditAreaPower
+banditAreaPower(const PowerModelConfig &config)
+{
+    BanditAreaPower result;
+    const double table_bytes =
+        static_cast<double>(config.numArms) * config.bytesPerArm;
+
+    const double sram_area = table_bytes * config.sramMm2PerByte;
+    const double sram_power = table_bytes * config.sramMwPerByte;
+
+    const double fpu_area =
+        config.fpuAreaMm2At15nm * config.areaScale15To10;
+    const double fpu_power =
+        config.fpuPowerMwAt15nm * config.powerScale15To10;
+
+    result.areaMm2 = sram_area + fpu_area;
+    result.powerMw = sram_power + fpu_power;
+    return result;
+}
+
+RelativeOverhead
+relativeOverhead(const PowerModelConfig &config, const ReferenceCpu &cpu)
+{
+    const BanditAreaPower one = banditAreaPower(config);
+    RelativeOverhead rel;
+    rel.areaPercent = 100.0 * one.areaMm2 * cpu.cores / cpu.dieAreaMm2;
+    rel.powerPercent =
+        100.0 * one.powerMw * 1e-3 * cpu.cores / cpu.tdpWatts;
+    return rel;
+}
+
+StorageComparison
+storageComparison()
+{
+    StorageComparison s;
+    s.banditAgent = 11 * 8; // 88B < 100B (Section 5.4)
+    // NL (0B) + stream (64 trackers) + stride (64 entries) < 2KB.
+    s.banditTotal = s.banditAgent + 64 * 9 + 64 * 21;
+    s.pythia = 25 * 1024 + 512;  // 25.5KB
+    s.mlop = 8 * 1024;           // 8KB
+    s.bingo = 46 * 1024;         // 46KB
+    return s;
+}
+
+} // namespace mab

@@ -1,0 +1,91 @@
+#ifndef MAB_POWER_POWER_MODEL_H
+#define MAB_POWER_POWER_MODEL_H
+
+#include <cstdint>
+
+namespace mab {
+
+/**
+ * Area/power model of a Micro-Armed Bandit agent (Section 6.5).
+ *
+ * The model mirrors the paper's methodology: CACTI-style estimates
+ * for the nTable/rTable SRAM, published numbers for a single-precision
+ * floating-point unit [Salehi & DeMara, 15nm], and the Stillmaker &
+ * Baas scaling equations down to 10nm. Constants are calibrated so
+ * that the default 11-arm agent reproduces the paper's headline
+ * figures: 0.00044 mm^2 and 0.11 mW per agent, and a < 0.003%
+ * area/power overhead on a 40-core Icelake-class server die.
+ */
+struct BanditAreaPower
+{
+    double areaMm2 = 0.0;
+    double powerMw = 0.0;
+};
+
+struct PowerModelConfig
+{
+    int numArms = 11;
+
+    /** Bytes per arm (4B reward + 4B count). */
+    int bytesPerArm = 8;
+
+    /** SRAM area density at 10nm, mm^2 per byte (CACTI-derived for
+     *  tiny register-file-like arrays). */
+    double sramMm2PerByte = 2.0e-6;
+
+    /** SRAM access power at 10nm, mW per byte at the bandit's duty
+     *  cycle (one table sweep per bandit step). */
+    double sramMwPerByte = 4.0e-4;
+
+    /** FPU area at 15nm (Salehi & DeMara), mm^2. */
+    double fpuAreaMm2At15nm = 0.00043;
+
+    /** FPU power at 15nm at the bandit's low duty cycle, mW. */
+    double fpuPowerMwAt15nm = 0.12;
+
+    /** Stillmaker & Baas area scaling factor 15nm -> 10nm. */
+    double areaScale15To10 = 0.59;
+
+    /** Stillmaker & Baas power scaling factor 15nm -> 10nm. */
+    double powerScale15To10 = 0.61;
+};
+
+/** Reference CPU for the relative-overhead computation (Icelake-SP). */
+struct ReferenceCpu
+{
+    int cores = 40;
+    double dieAreaMm2 = 628.0;
+    double tdpWatts = 270.0;
+};
+
+/** Area and power of one Bandit agent. */
+BanditAreaPower banditAreaPower(const PowerModelConfig &config = {});
+
+/** Relative overheads of one agent per core on @p cpu, in percent. */
+struct RelativeOverhead
+{
+    double areaPercent = 0.0;
+    double powerPercent = 0.0;
+};
+
+RelativeOverhead relativeOverhead(const PowerModelConfig &config = {},
+                                  const ReferenceCpu &cpu = {});
+
+/**
+ * Storage comparison of Section 7.2.1 (bytes): the Bandit agent, the
+ * Bandit including its ensemble prefetchers, and the prior prefetchers.
+ */
+struct StorageComparison
+{
+    uint64_t banditAgent = 0;
+    uint64_t banditTotal = 0;
+    uint64_t pythia = 0;
+    uint64_t mlop = 0;
+    uint64_t bingo = 0;
+};
+
+StorageComparison storageComparison();
+
+} // namespace mab
+
+#endif // MAB_POWER_POWER_MODEL_H

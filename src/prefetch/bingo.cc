@@ -1,0 +1,186 @@
+#include "prefetch/bingo.h"
+
+#include <cassert>
+
+#include "trace/record.h"
+
+namespace mab {
+
+namespace {
+
+uint64_t
+hashMix(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 29;
+    return x;
+}
+
+} // namespace
+
+BingoPrefetcher::BingoPrefetcher(uint64_t region_bytes,
+                                 int accumulation_entries,
+                                 int history_entries)
+    : regionBytes_(region_bytes),
+      linesPerRegion_(static_cast<int>(region_bytes / kLineBytes)),
+      accTable_(accumulation_entries), histTable_(history_entries)
+{
+    assert(linesPerRegion_ > 0 && linesPerRegion_ <= 64);
+}
+
+uint64_t
+BingoPrefetcher::storageBytes() const
+{
+    // Accumulation: 8B base + 8B PC + 8B footprint + ~2B state.
+    // History: 4B compressed key + 8B footprint (two tables, long and
+    // short keys share entries here).
+    return accTable_.size() * 26 + histTable_.size() * 12;
+}
+
+void
+BingoPrefetcher::reset()
+{
+    for (auto &a : accTable_)
+        a = Accumulation{};
+    for (auto &h : histTable_)
+        h = History{};
+    useTick_ = 0;
+}
+
+uint64_t
+BingoPrefetcher::keyLong(uint64_t pc, int offset) const
+{
+    return hashMix(pc * 131 + static_cast<uint64_t>(offset) + 1);
+}
+
+uint64_t
+BingoPrefetcher::keyShort(uint64_t pc) const
+{
+    return hashMix(pc * 31 + 0xBEEF);
+}
+
+const BingoPrefetcher::History *
+BingoPrefetcher::findHistory(uint64_t key) const
+{
+    // 4-way set-associative lookup.
+    const size_t sets = histTable_.size() / 4;
+    const size_t set = key % sets;
+    for (int w = 0; w < 4; ++w) {
+        const History &h = histTable_[set * 4 + w];
+        if (h.valid && h.key == key)
+            return &h;
+    }
+    return nullptr;
+}
+
+void
+BingoPrefetcher::storeHistory(uint64_t key, uint64_t footprint)
+{
+    const size_t sets = histTable_.size() / 4;
+    const size_t set = key % sets;
+    History *victim = &histTable_[set * 4];
+    for (int w = 0; w < 4; ++w) {
+        History &h = histTable_[set * 4 + w];
+        if (h.valid && h.key == key) {
+            h.footprint = footprint;
+            h.lastUse = ++useTick_;
+            return;
+        }
+        if (!h.valid) {
+            victim = &h;
+        } else if (victim->valid && h.lastUse < victim->lastUse) {
+            victim = &h;
+        }
+    }
+    victim->valid = true;
+    victim->key = key;
+    victim->footprint = footprint;
+    victim->lastUse = ++useTick_;
+}
+
+void
+BingoPrefetcher::closeGeneration(Accumulation &acc)
+{
+    if (!acc.valid)
+        return;
+    // Record under both the precise (PC + offset) and the fallback
+    // (PC-only) events, as in Bingo's multi-lookup.
+    storeHistory(keyLong(acc.triggerPc, acc.triggerOffset),
+                 acc.footprint);
+    storeHistory(keyShort(acc.triggerPc), acc.footprint);
+    acc.valid = false;
+}
+
+void
+BingoPrefetcher::onAccess(const PrefetchAccess &access,
+                          std::vector<uint64_t> &out)
+{
+    const uint64_t region = access.addr / regionBytes_;
+    const uint64_t region_base = region * regionBytes_;
+    const int offset = static_cast<int>(
+        (access.addr - region_base) / kLineBytes);
+
+    // Already accumulating this region? Keep pulling in the not yet
+    // accessed lines of the recorded footprint: this recovers
+    // prefetches dropped on full queues and tracks the region as the
+    // program walks it (duplicates are filtered at the L2).
+    for (auto &acc : accTable_) {
+        if (acc.valid && acc.regionBase == region_base) {
+            acc.footprint |= 1ull << offset;
+            acc.lastUse = ++useTick_;
+            const History *h =
+                findHistory(keyLong(acc.triggerPc, acc.triggerOffset));
+            if (!h)
+                h = findHistory(keyShort(acc.triggerPc));
+            if (h) {
+                const uint64_t remaining =
+                    h->footprint & ~acc.footprint;
+                for (int line_i = 0; line_i < linesPerRegion_;
+                     ++line_i) {
+                    if (remaining & (1ull << line_i))
+                        out.push_back(
+                            region_base +
+                            static_cast<uint64_t>(line_i) *
+                                kLineBytes);
+                }
+            }
+            return;
+        }
+    }
+
+    // Trigger access of a new generation: look up the history and
+    // prefetch the recorded footprint.
+    const History *hist = findHistory(keyLong(access.pc, offset));
+    if (!hist)
+        hist = findHistory(keyShort(access.pc));
+    if (hist) {
+        for (int line = 0; line < linesPerRegion_; ++line) {
+            if (line == offset)
+                continue;
+            if (hist->footprint & (1ull << line))
+                out.push_back(region_base +
+                              static_cast<uint64_t>(line) * kLineBytes);
+        }
+    }
+
+    // Open a new accumulation entry (evicting the LRU generation).
+    Accumulation *victim = &accTable_[0];
+    for (auto &acc : accTable_) {
+        if (!acc.valid) {
+            victim = &acc;
+            break;
+        }
+        if (acc.lastUse < victim->lastUse)
+            victim = &acc;
+    }
+    closeGeneration(*victim);
+    victim->valid = true;
+    victim->regionBase = region_base;
+    victim->triggerPc = access.pc;
+    victim->triggerOffset = offset;
+    victim->footprint = 1ull << offset;
+    victim->lastUse = ++useTick_;
+}
+
+} // namespace mab

@@ -1,0 +1,73 @@
+#ifndef MAB_PREFETCH_BINGO_H
+#define MAB_PREFETCH_BINGO_H
+
+#include <vector>
+
+#include "prefetch/prefetcher.h"
+
+namespace mab {
+
+/**
+ * Bingo spatial data prefetcher (Bakhshalipour et al., HPCA'19),
+ * simplified comparison baseline.
+ *
+ * Bingo records the footprint of lines touched inside a spatial region
+ * during the region's "generation" and associates it with the
+ * long-event "PC+Address" (here: PC + region offset) of the trigger
+ * access. When a region is re-triggered, the stored footprint is
+ * prefetched wholesale. The implementation keeps an accumulation
+ * table for open generations and a set-associative footprint history
+ * keyed by hash(PC, trigger offset) with a hash(PC)-only fallback,
+ * capturing the core mechanism at a fraction of the engineering
+ * surface of the original.
+ */
+class BingoPrefetcher : public Prefetcher
+{
+  public:
+    /** @param region_bytes spatial region size (2KB in the paper). */
+    explicit BingoPrefetcher(uint64_t region_bytes = 2048,
+                             int accumulation_entries = 64,
+                             int history_entries = 2048);
+
+    void onAccess(const PrefetchAccess &access,
+                  std::vector<uint64_t> &out) override;
+
+    std::string name() const override { return "Bingo"; }
+    uint64_t storageBytes() const override;
+    void reset() override;
+
+  private:
+    struct Accumulation
+    {
+        uint64_t regionBase = 0;
+        uint64_t triggerPc = 0;
+        int triggerOffset = 0;
+        uint64_t footprint = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    struct History
+    {
+        uint64_t key = 0;
+        uint64_t footprint = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    uint64_t keyLong(uint64_t pc, int offset) const;
+    uint64_t keyShort(uint64_t pc) const;
+    void storeHistory(uint64_t key, uint64_t footprint);
+    const History *findHistory(uint64_t key) const;
+    void closeGeneration(Accumulation &acc);
+
+    uint64_t regionBytes_;
+    int linesPerRegion_;
+    std::vector<Accumulation> accTable_;
+    std::vector<History> histTable_;
+    uint64_t useTick_ = 0;
+};
+
+} // namespace mab
+
+#endif // MAB_PREFETCH_BINGO_H

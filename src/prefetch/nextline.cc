@@ -1,0 +1,16 @@
+#include "prefetch/nextline.h"
+
+#include "trace/record.h"
+
+namespace mab {
+
+void
+NextLinePrefetcher::onAccess(const PrefetchAccess &access,
+                             std::vector<uint64_t> &out)
+{
+    if (!enabled_)
+        return;
+    out.push_back(lineAddr(access.addr) + kLineBytes);
+}
+
+} // namespace mab

@@ -1,0 +1,32 @@
+#ifndef MAB_PREFETCH_NEXTLINE_H
+#define MAB_PREFETCH_NEXTLINE_H
+
+#include "prefetch/prefetcher.h"
+
+namespace mab {
+
+/**
+ * Next-line (NL) prefetcher: on every access to line X, prefetch
+ * X + 1. One of the three lightweight prefetchers the Bandit
+ * orchestrates (Section 5.2); its only knob is on/off.
+ */
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    void onAccess(const PrefetchAccess &access,
+                  std::vector<uint64_t> &out) override;
+
+    std::string name() const override { return "NextLine"; }
+    uint64_t storageBytes() const override { return 0; }
+    void reset() override {}
+
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+    bool enabled() const { return enabled_; }
+
+  private:
+    bool enabled_ = true;
+};
+
+} // namespace mab
+
+#endif // MAB_PREFETCH_NEXTLINE_H

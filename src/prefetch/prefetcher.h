@@ -1,0 +1,71 @@
+#ifndef MAB_PREFETCH_PREFETCHER_H
+#define MAB_PREFETCH_PREFETCHER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mab {
+
+/** A demand access observed by a prefetcher. */
+struct PrefetchAccess
+{
+    uint64_t pc = 0;
+    /** Full byte address of the demand access. */
+    uint64_t addr = 0;
+    /** The access hit at the prefetcher's home level. */
+    bool hit = false;
+    uint64_t cycle = 0;
+    /**
+     * Instructions the core has committed so far. Plain prefetchers
+     * ignore it; agents that learn from an IPC reward (the Bandit
+     * controller) read their reward counters from here (Figure 6(d)).
+     */
+    uint64_t instrCount = 0;
+};
+
+/**
+ * Interface of a hardware prefetcher.
+ *
+ * The host core model calls onAccess() for every demand access that
+ * reaches the prefetcher's home level (for the paper's L2 prefetchers:
+ * every L1 miss) and issues the returned line addresses to the
+ * hierarchy. Implementations append absolute byte addresses to @p out
+ * (one per line to prefetch).
+ */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /** Observe a demand access; append prefetch addresses to @p out. */
+    virtual void onAccess(const PrefetchAccess &access,
+                          std::vector<uint64_t> &out) = 0;
+
+    /** Name used in reports ("Bingo", "MLOP", ...). */
+    virtual std::string name() const = 0;
+
+    /** Metadata storage of the prefetcher in bytes (Section 7.2.1). */
+    virtual uint64_t storageBytes() const = 0;
+
+    /** Drop all learned state. */
+    virtual void reset() = 0;
+};
+
+/** A prefetcher that never prefetches (the NoPrefetch baseline). */
+class NullPrefetcher : public Prefetcher
+{
+  public:
+    void
+    onAccess(const PrefetchAccess &, std::vector<uint64_t> &) override
+    {
+    }
+
+    std::string name() const override { return "NoPrefetch"; }
+    uint64_t storageBytes() const override { return 0; }
+    void reset() override {}
+};
+
+} // namespace mab
+
+#endif // MAB_PREFETCH_PREFETCHER_H

@@ -1,0 +1,240 @@
+#include "prefetch/pythia.h"
+
+#include <algorithm>
+
+#include "trace/record.h"
+
+namespace mab {
+
+namespace {
+
+uint64_t
+hashMix(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 29;
+    x *= 0xC4CEB9FE1A85EC53ull;
+    x ^= x >> 32;
+    return x;
+}
+
+} // namespace
+
+const std::array<int, 16> &
+PythiaPrefetcher::offsets()
+{
+    static const std::array<int, 16> offs = {
+        0, 1, 2, 3, 4, 5, 6, 8, 10, 12, 14, 16, -1, -2, -3, -6,
+    };
+    return offs;
+}
+
+const std::array<int, 4> &
+PythiaPrefetcher::degrees()
+{
+    static const std::array<int, 4> degs = {1, 2, 4, 6};
+    return degs;
+}
+
+PythiaPrefetcher::PythiaPrefetcher(const PythiaConfig &config)
+    : config_(config), rng_(config.seed),
+      q0_(static_cast<size_t>(config.planeEntries) * kNumActions,
+          config.qInit / 2.0),
+      q1_(static_cast<size_t>(config.planeEntries) * kNumActions,
+          config.qInit / 2.0)
+{
+}
+
+uint64_t
+PythiaPrefetcher::storageBytes() const
+{
+    // Two feature planes of int16 Q-values plus the EQ metadata:
+    // 2 x 96 x 64 x 2B = 24KB QVStore + ~1.5KB EQ, matching the
+    // ~25.5KB the paper reports for Pythia.
+    return 2ull * config_.planeEntries * kNumActions * 2 +
+        static_cast<uint64_t>(config_.eqDepth) * 12;
+}
+
+void
+PythiaPrefetcher::reset()
+{
+    std::fill(q0_.begin(), q0_.end(), config_.qInit / 2.0);
+    std::fill(q1_.begin(), q1_.end(), config_.qInit / 2.0);
+    eq_.clear();
+    pending_.clear();
+    eqNextId_ = 0;
+    eqBaseId_ = 0;
+    lastLine_ = 0;
+    delta1_ = 0;
+    delta2_ = 0;
+    actionCounts_.fill(0);
+    rng_.reseed(config_.seed);
+}
+
+int
+PythiaPrefetcher::featurePc(uint64_t pc) const
+{
+    return static_cast<int>(hashMix(pc) %
+                            static_cast<uint64_t>(config_.planeEntries));
+}
+
+int
+PythiaPrefetcher::featureDeltas() const
+{
+    const uint64_t key = hashMix(static_cast<uint64_t>(delta1_) * 131 +
+                                 static_cast<uint64_t>(delta2_) * 7 + 3);
+    return static_cast<int>(key %
+                            static_cast<uint64_t>(config_.planeEntries));
+}
+
+double
+PythiaPrefetcher::qValue(int f0, int f1, int a) const
+{
+    return q0_[static_cast<size_t>(f0) * kNumActions + a] +
+        q1_[static_cast<size_t>(f1) * kNumActions + a];
+}
+
+int
+PythiaPrefetcher::selectAction(int f0, int f1)
+{
+    if (rng_.bernoulli(config_.epsilon))
+        return static_cast<int>(rng_.below(kNumActions));
+    int best = 0;
+    double best_q = qValue(f0, f1, 0);
+    for (int a = 1; a < kNumActions; ++a) {
+        const double q = qValue(f0, f1, a);
+        if (q > best_q) {
+            best_q = q;
+            best = a;
+        }
+    }
+    return best;
+}
+
+void
+PythiaPrefetcher::retireOldest()
+{
+    EqEntry e = std::move(eq_.front());
+    eq_.pop_front();
+    const int retired_id = eqBaseId_++;
+
+    for (uint64_t line : e.predictedLines) {
+        auto it = pending_.find(line);
+        if (it != pending_.end() && it->second == retired_id)
+            pending_.erase(it);
+    }
+
+    double reward;
+    if (e.issued) {
+        // Per-line reward: every timely covered line earns credit,
+        // every uncovered line costs a bandwidth-scaled penalty.
+        // Deep accurate actions (high degree) therefore strictly
+        // dominate shallow ones — the pressure that drives Pythia
+        // toward deep lookahead on streams.
+        const double timely = static_cast<double>(e.timelyHits);
+        const double late = static_cast<double>(e.lateHits);
+        const double miss =
+            static_cast<double>(e.predictedLines.size()) - timely -
+            late;
+        reward = timely * config_.rewardHit +
+            late * config_.rewardLate +
+            miss * (config_.rewardMiss -
+                    config_.bwPenaltyScale * e.bwUtil);
+    } else {
+        reward = config_.rewardNone +
+            0.5 * config_.bwPenaltyScale * e.bwUtil;
+    }
+
+    // SARSA: the next decision in program order provides (s', a').
+    double q_next = 0.0;
+    if (!eq_.empty()) {
+        const EqEntry &n = eq_.front();
+        q_next = qValue(n.f0, n.f1, n.action);
+    }
+
+    const double q_sa = qValue(e.f0, e.f1, e.action);
+    const double delta = reward + config_.gamma * q_next - q_sa;
+    const double step = config_.alpha * delta * 0.5;
+    q0_[static_cast<size_t>(e.f0) * kNumActions + e.action] += step;
+    q1_[static_cast<size_t>(e.f1) * kNumActions + e.action] += step;
+}
+
+void
+PythiaPrefetcher::onAccess(const PrefetchAccess &access,
+                           std::vector<uint64_t> &out)
+{
+    const int64_t line =
+        static_cast<int64_t>(lineAddr(access.addr) / kLineBytes);
+
+    // Reward matching: did this demand access validate a prediction?
+    auto it = pending_.find(static_cast<uint64_t>(line));
+    if (it != pending_.end()) {
+        const int idx = it->second - eqBaseId_;
+        if (idx >= 0 && idx < static_cast<int>(eq_.size())) {
+            EqEntry &entry = eq_[idx];
+            const uint64_t elapsed = access.cycle - entry.issueCycle;
+            if (elapsed >= config_.lateThresholdCycles)
+                ++entry.timelyHits;
+            else
+                ++entry.lateHits;
+        }
+        pending_.erase(it);
+    }
+
+    const int f0 = featurePc(access.pc);
+    const int f1 = featureDeltas();
+    const int action = selectAction(f0, f1);
+    ++actionCounts_[action];
+
+    const int offset = offsets()[action >> 2];
+    const int degree = degrees()[action & 3];
+
+    EqEntry entry;
+    entry.f0 = f0;
+    entry.f1 = f1;
+    entry.action = action;
+    entry.issued = offset != 0;
+    entry.bwUtil = bwProbe_ ? bwProbe_(access.cycle) : 0.0;
+    entry.issueCycle = access.cycle;
+
+    if (offset != 0) {
+        // A degree-d action applies the offset d times (a run of
+        // strided lookaheads: works for unit streams and for larger
+        // strides alike).
+        for (int i = 1; i <= degree; ++i) {
+            const int64_t target = line +
+                static_cast<int64_t>(offset) * i;
+            if (target <= 0)
+                continue;
+            // Always re-issue (the L2 filters lines it already has,
+            // and re-issuing heals prefetches dropped on full
+            // queues), but credit each line to a single in-flight
+            // decision so overlapping deep actions don't penalize
+            // each other.
+            out.push_back(static_cast<uint64_t>(target) * kLineBytes);
+            if (pending_.count(static_cast<uint64_t>(target)))
+                continue;
+            entry.predictedLines.push_back(
+                static_cast<uint64_t>(target));
+            pending_[static_cast<uint64_t>(target)] = eqNextId_;
+        }
+        // A fully covered expansion keeps issued=true with no novel
+        // lines; its reward is neutral (0), not the no-prefetch one.
+    }
+
+    eq_.push_back(std::move(entry));
+    ++eqNextId_;
+    while (static_cast<int>(eq_.size()) > config_.eqDepth)
+        retireOldest();
+
+    // Update the delta history after the decision.
+    const int64_t d = line - lastLine_;
+    if (d != 0) {
+        delta2_ = delta1_;
+        delta1_ = d;
+    }
+    lastLine_ = line;
+}
+
+} // namespace mab

@@ -1,0 +1,95 @@
+#include "prefetch/stream.h"
+
+#include <cstdlib>
+
+#include "trace/record.h"
+
+namespace mab {
+
+namespace {
+
+/** Window (in lines) within which an access extends a stream. */
+constexpr int64_t kMatchWindow = 4;
+
+/** Confirmations before a stream starts prefetching. */
+constexpr int kTrainThreshold = 2;
+
+} // namespace
+
+StreamPrefetcher::StreamPrefetcher(int num_trackers)
+    : trackers_(num_trackers)
+{
+}
+
+uint64_t
+StreamPrefetcher::storageBytes() const
+{
+    // Per tracker: 8B line address + ~1B direction/confidence/LRU.
+    return trackers_.size() * 9;
+}
+
+void
+StreamPrefetcher::reset()
+{
+    for (auto &t : trackers_)
+        t = Tracker{};
+    useTick_ = 0;
+}
+
+void
+StreamPrefetcher::onAccess(const PrefetchAccess &access,
+                           std::vector<uint64_t> &out)
+{
+    const int64_t line =
+        static_cast<int64_t>(lineAddr(access.addr) / kLineBytes);
+
+    Tracker *match = nullptr;
+    Tracker *victim = &trackers_[0];
+    for (auto &t : trackers_) {
+        if (!t.valid) {
+            victim = &t;
+            continue;
+        }
+        const int64_t delta = line - static_cast<int64_t>(t.lastLine);
+        if (delta != 0 && std::llabs(delta) <= kMatchWindow) {
+            match = &t;
+            break;
+        }
+        if (victim->valid && t.lastUse < victim->lastUse)
+            victim = &t;
+    }
+
+    if (match) {
+        const int64_t delta =
+            line - static_cast<int64_t>(match->lastLine);
+        const int dir = delta > 0 ? 1 : -1;
+        if (match->direction == dir) {
+            ++match->confidence;
+        } else {
+            match->direction = dir;
+            match->confidence = 1;
+        }
+        match->lastLine = static_cast<uint64_t>(line);
+        match->lastUse = ++useTick_;
+
+        if (degree_ > 0 && match->confidence >= kTrainThreshold) {
+            for (int i = 1; i <= degree_; ++i) {
+                const int64_t target = line + static_cast<int64_t>(i) *
+                    match->direction;
+                if (target > 0)
+                    out.push_back(static_cast<uint64_t>(target) *
+                                  kLineBytes);
+            }
+        }
+        return;
+    }
+
+    // Allocate a fresh tracker for a potential new stream.
+    victim->valid = true;
+    victim->lastLine = static_cast<uint64_t>(line);
+    victim->direction = 0;
+    victim->confidence = 0;
+    victim->lastUse = ++useTick_;
+}
+
+} // namespace mab

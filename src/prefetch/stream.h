@@ -1,0 +1,51 @@
+#ifndef MAB_PREFETCH_STREAM_H
+#define MAB_PREFETCH_STREAM_H
+
+#include <vector>
+
+#include "prefetch/prefetcher.h"
+
+namespace mab {
+
+/**
+ * Stream prefetcher with a fixed number of stream trackers (Table 6:
+ * 64 trackers). Each tracker locks onto a sequence of nearby line
+ * accesses moving in one direction; once a stream is confirmed, the
+ * prefetcher runs @c degree lines ahead of the demand stream. Degree 0
+ * turns the prefetcher off; the Bandit programs the degree through a
+ * programmable register (Section 5.2).
+ */
+class StreamPrefetcher : public Prefetcher
+{
+  public:
+    explicit StreamPrefetcher(int num_trackers = 64);
+
+    void onAccess(const PrefetchAccess &access,
+                  std::vector<uint64_t> &out) override;
+
+    std::string name() const override { return "Stream"; }
+    uint64_t storageBytes() const override;
+    void reset() override;
+
+    /** Program the prefetch degree (0 = off). */
+    void setDegree(int degree) { degree_ = degree; }
+    int degree() const { return degree_; }
+
+  private:
+    struct Tracker
+    {
+        uint64_t lastLine = 0;
+        int direction = 0;  // +1 / -1; 0 = untrained
+        int confidence = 0; // confirmations in the same direction
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    int degree_ = 4;
+    std::vector<Tracker> trackers_;
+    uint64_t useTick_ = 0;
+};
+
+} // namespace mab
+
+#endif // MAB_PREFETCH_STREAM_H

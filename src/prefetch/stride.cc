@@ -1,0 +1,85 @@
+#include "prefetch/stride.h"
+
+#include "trace/record.h"
+
+namespace mab {
+
+namespace {
+
+constexpr int kConfidenceMax = 3;
+constexpr int kPrefetchThreshold = 2;
+
+} // namespace
+
+StridePrefetcher::StridePrefetcher(int num_trackers, int degree)
+    : degree_(degree), table_(num_trackers)
+{
+}
+
+uint64_t
+StridePrefetcher::storageBytes() const
+{
+    // Per entry: 8B PC tag + 8B last address + 4B stride + ~1B state.
+    return table_.size() * 21;
+}
+
+void
+StridePrefetcher::reset()
+{
+    for (auto &e : table_)
+        e = Entry{};
+    useTick_ = 0;
+}
+
+void
+StridePrefetcher::onAccess(const PrefetchAccess &access,
+                           std::vector<uint64_t> &out)
+{
+    Entry *match = nullptr;
+    Entry *victim = &table_[0];
+    for (auto &e : table_) {
+        if (e.valid && e.pcTag == access.pc) {
+            match = &e;
+            break;
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lastUse < victim->lastUse) {
+            victim = &e;
+        }
+    }
+
+    if (!match) {
+        victim->valid = true;
+        victim->pcTag = access.pc;
+        victim->lastAddr = access.addr;
+        victim->stride = 0;
+        victim->confidence = 0;
+        victim->lastUse = ++useTick_;
+        return;
+    }
+
+    const int64_t delta = static_cast<int64_t>(access.addr) -
+        static_cast<int64_t>(match->lastAddr);
+    if (delta != 0 && delta == match->stride) {
+        if (match->confidence < kConfidenceMax)
+            ++match->confidence;
+    } else {
+        match->stride = delta;
+        match->confidence = delta != 0 ? 1 : 0;
+    }
+    match->lastAddr = access.addr;
+    match->lastUse = ++useTick_;
+
+    if (degree_ > 0 && match->confidence >= kPrefetchThreshold &&
+        match->stride != 0) {
+        for (int i = 1; i <= degree_; ++i) {
+            const int64_t target = static_cast<int64_t>(access.addr) +
+                match->stride * i;
+            if (target > 0)
+                out.push_back(static_cast<uint64_t>(target));
+        }
+    }
+}
+
+} // namespace mab

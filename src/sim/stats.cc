@@ -1,0 +1,92 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace mab {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+gmean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+percentile(std::vector<double> xs, double q)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs.front();
+    const double rank = (q / 100.0) * static_cast<double>(xs.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+RatioSummary
+summarizeRatios(const std::vector<double> &ratios)
+{
+    RatioSummary s;
+    s.min = 100.0 * minOf(ratios);
+    s.max = 100.0 * maxOf(ratios);
+    s.gmean = 100.0 * gmean(ratios);
+    return s;
+}
+
+std::string
+fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return std::string(buf);
+}
+
+} // namespace mab

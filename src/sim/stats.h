@@ -1,0 +1,62 @@
+#ifndef MAB_SIM_STATS_H
+#define MAB_SIM_STATS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mab {
+
+/**
+ * Statistics helpers shared by the evaluation harness.
+ *
+ * The paper reports geometric-mean speedups, min/max ratios, and
+ * per-suite aggregates; these free functions implement that arithmetic
+ * once so that every bench binary aggregates identically.
+ */
+
+/** Arithmetic mean; returns 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/**
+ * Geometric mean; requires every element to be positive.
+ * Returns 0 for an empty vector.
+ */
+double gmean(const std::vector<double> &xs);
+
+/** Minimum; returns 0 for an empty vector. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum; returns 0 for an empty vector. */
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * Percentile via linear interpolation between closest ranks.
+ * @param q percentile in [0, 100].
+ */
+double percentile(std::vector<double> xs, double q);
+
+/** Population standard deviation; returns 0 for fewer than 2 samples. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Min / max / geometric-mean summary of a set of ratios, as used in
+ * Tables 8 and 9 of the paper (values expressed as percentages of a
+ * reference such as the best static arm).
+ */
+struct RatioSummary
+{
+    double min = 0.0;
+    double max = 0.0;
+    double gmean = 0.0;
+};
+
+/** Summarize @p ratios (each a fraction, e.g. 0.991) as percentages. */
+RatioSummary summarizeRatios(const std::vector<double> &ratios);
+
+/** Format a double with fixed precision (helper for table printing). */
+std::string fmt(double value, int precision = 2);
+
+} // namespace mab
+
+#endif // MAB_SIM_STATS_H

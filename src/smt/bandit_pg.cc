@@ -1,0 +1,47 @@
+#include "smt/bandit_pg.h"
+
+namespace mab {
+
+BanditPgSelector::BanditPgSelector(const SmtBanditConfig &config)
+{
+    MabConfig mab = config.mab;
+    mab.numArms = static_cast<int>(smtArmTable().size());
+
+    BanditHwConfig hw;
+    hw.stepUnits = config.stepEpochs;
+    hw.stepUnitsRr = config.stepRrEpochs;
+    // Arm selection latency (500 cycles) is negligible against epoch
+    // granularity; the policy switch is applied at the epoch edge.
+    hw.selectionLatencyCycles = 0;
+    hw.recordHistory = true;
+
+    agent_ = std::make_unique<BanditAgent>(
+        makePolicy(config.algorithm, mab), hw);
+    activeArm_ = agent_->selectedArm();
+}
+
+const PgPolicy &
+BanditPgSelector::currentPolicy() const
+{
+    return smtArmTable()[activeArm_];
+}
+
+bool
+BanditPgSelector::onEpochEnd(uint64_t totalInstr, uint64_t cycles,
+                             HillClimbing &hc)
+{
+    if (!agent_->tick(1, totalInstr, cycles))
+        return false;
+
+    const ArmId next = agent_->selectedArm();
+    if (next == activeArm_)
+        return false;
+
+    // Per-arm Hill Climbing context switch (Section 5.3).
+    hcStates_[activeArm_] = hc.save();
+    hc.restore(hcStates_[next]);
+    activeArm_ = next;
+    return true;
+}
+
+} // namespace mab

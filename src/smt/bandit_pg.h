@@ -1,0 +1,80 @@
+#ifndef MAB_SMT_BANDIT_PG_H
+#define MAB_SMT_BANDIT_PG_H
+
+#include <array>
+#include <memory>
+
+#include "core/bandit_agent.h"
+#include "core/factory.h"
+#include "smt/fetch_policy.h"
+#include "smt/hill_climbing.h"
+
+namespace mab {
+
+/**
+ * Micro-Armed Bandit configuration for the SMT fetch use case
+ * (Table 6, left column). The paper uses 64k-cycle Hill Climbing
+ * epochs with bandit steps of 2 epochs (32 during round-robin); the
+ * scaled-down simulation keeps the 2-epoch main-loop step and
+ * shortens the round-robin step proportionally to the shorter runs
+ * (see DESIGN.md).
+ */
+struct SmtBanditConfig
+{
+    MabAlgorithm algorithm = MabAlgorithm::Ducb;
+    MabConfig mab = [] {
+        MabConfig cfg;
+        cfg.numArms = 6;
+        cfg.gamma = 0.975;
+        cfg.c = 0.01;
+        cfg.normalizeRewards = true;
+        return cfg;
+    }();
+
+    /** Bandit step in Hill Climbing epochs (main loop). */
+    uint64_t stepEpochs = 2;
+
+    /** Bandit step-RR in epochs (initial round-robin phase). */
+    uint64_t stepRrEpochs = 4;
+};
+
+/**
+ * The SMT use case controller (Section 5.3): a Micro-Armed Bandit
+ * selecting the fetch PG policy arm (Table 1) on top of the Hill
+ * Climbing threshold algorithm. Every time the arm changes, the Hill
+ * Climbing state of the outgoing arm is saved and the incoming arm's
+ * state is restored, so each policy climbs its own hill.
+ */
+class BanditPgSelector
+{
+  public:
+    explicit BanditPgSelector(const SmtBanditConfig &config = {});
+
+    /** Policy of the arm currently in effect. */
+    const PgPolicy &currentPolicy() const;
+
+    /**
+     * Notify the selector that one Hill Climbing epoch finished.
+     *
+     * @param totalInstr committed instructions of all threads so far.
+     * @param cycles current cycle count.
+     * @param hc the Hill Climbing instance driving the thresholds
+     *           (saved/restored across arm switches).
+     * @return true if the arm changed (the caller should re-apply
+     *         currentPolicy() to the pipeline).
+     */
+    bool onEpochEnd(uint64_t totalInstr, uint64_t cycles,
+                    HillClimbing &hc);
+
+    BanditAgent &agent() { return *agent_; }
+    const BanditAgent &agent() const { return *agent_; }
+
+  private:
+    std::unique_ptr<BanditAgent> agent_;
+    std::array<HillClimbing::State, 6> hcStates_{};
+    ArmId activeArm_ = 0;
+};
+
+} // namespace mab
+
+#endif // MAB_SMT_BANDIT_PG_H

@@ -1,0 +1,86 @@
+#include "smt/fetch_policy.h"
+
+#include <stdexcept>
+
+namespace mab {
+
+std::string
+toString(FetchPriority priority)
+{
+    switch (priority) {
+      case FetchPriority::BrC: return "BrC";
+      case FetchPriority::IC: return "IC";
+      case FetchPriority::LSQC: return "LSQC";
+      case FetchPriority::RR: return "RR";
+    }
+    return "?";
+}
+
+std::string
+PgPolicy::name() const
+{
+    std::string s = toString(priority);
+    s += '_';
+    s += gateIq ? '1' : '0';
+    s += gateLsq ? '1' : '0';
+    s += gateRob ? '1' : '0';
+    s += gateIrf ? '1' : '0';
+    return s;
+}
+
+std::vector<PgPolicy>
+allPgPolicies()
+{
+    std::vector<PgPolicy> policies;
+    for (FetchPriority pr : {FetchPriority::BrC, FetchPriority::IC,
+                             FetchPriority::LSQC, FetchPriority::RR}) {
+        for (int mask = 0; mask < 16; ++mask) {
+            PgPolicy p;
+            p.priority = pr;
+            p.gateIq = (mask & 8) != 0;
+            p.gateLsq = (mask & 4) != 0;
+            p.gateRob = (mask & 2) != 0;
+            p.gateIrf = (mask & 1) != 0;
+            policies.push_back(p);
+        }
+    }
+    return policies;
+}
+
+PgPolicy
+pgPolicyFromName(const std::string &name)
+{
+    for (const PgPolicy &p : allPgPolicies()) {
+        if (p.name() == name)
+            return p;
+    }
+    throw std::out_of_range("unknown PG policy: " + name);
+}
+
+PgPolicy
+icountPolicy()
+{
+    return pgPolicyFromName("IC_0000");
+}
+
+PgPolicy
+choiPolicy()
+{
+    return pgPolicyFromName("IC_1011");
+}
+
+const std::array<PgPolicy, 6> &
+smtArmTable()
+{
+    static const std::array<PgPolicy, 6> arms = {
+        pgPolicyFromName("IC_0000"),
+        pgPolicyFromName("BrC_1000"),
+        pgPolicyFromName("IC_1110"),
+        pgPolicyFromName("IC_1111"),
+        pgPolicyFromName("LSQC_1111"),
+        pgPolicyFromName("RR_1111"),
+    };
+    return arms;
+}
+
+} // namespace mab

@@ -1,0 +1,71 @@
+#ifndef MAB_SMT_FETCH_POLICY_H
+#define MAB_SMT_FETCH_POLICY_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace mab {
+
+/** Fetch priority policies of Section 3.2 (Tullsen et al.). */
+enum class FetchPriority
+{
+    /** Fewest branches in the ROB. */
+    BrC,
+    /** Fewest occupied IQ entries (ICount). */
+    IC,
+    /** Fewest occupied LQ+SQ entries. */
+    LSQC,
+    /** Round robin. */
+    RR,
+};
+
+std::string toString(FetchPriority priority);
+
+/**
+ * A fetch Priority & Gating (PG) policy: which priority heuristic
+ * picks the thread to fetch from, and which structures' occupancy is
+ * monitored for fetch gating — written X_b3b2b1b0 in the paper, where
+ * the bits monitor IQ, LSQ, ROB and IRF respectively (Section 3.3).
+ */
+struct PgPolicy
+{
+    FetchPriority priority = FetchPriority::IC;
+    bool gateIq = false;
+    bool gateLsq = false;
+    bool gateRob = false;
+    bool gateIrf = false;
+
+    /** "IC_1011"-style mnemonic. */
+    std::string name() const;
+
+    bool
+    anyGating() const
+    {
+        return gateIq || gateLsq || gateRob || gateIrf;
+    }
+
+    bool operator==(const PgPolicy &) const = default;
+};
+
+/** The full 64-policy design space (4 priorities x 16 gate masks). */
+std::vector<PgPolicy> allPgPolicies();
+
+/** Parse an "IC_1011"-style mnemonic. */
+PgPolicy pgPolicyFromName(const std::string &name);
+
+/** ICount with no gating (Tullsen's original policy). */
+PgPolicy icountPolicy();
+
+/** The Choi policy: ICount + gating on IQ, ROB and IRF (IC_1011). */
+PgPolicy choiPolicy();
+
+/**
+ * The 6 arms of the SMT use case (Table 1), pruned from the 64-policy
+ * space: IC_0000, BrC_1000, IC_1110, IC_1111, LSQC_1111, RR_1111.
+ */
+const std::array<PgPolicy, 6> &smtArmTable();
+
+} // namespace mab
+
+#endif // MAB_SMT_FETCH_POLICY_H

@@ -1,0 +1,344 @@
+#include "smt/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mab {
+
+SmtPipeline::SmtPipeline(
+    const SmtConfig &config,
+    std::array<ThreadSource *, SmtConfig::kThreads> sources)
+    : config_(config), sources_(sources),
+      calendar_(kCalendarSize)
+{
+    policy_ = choiPolicy();
+}
+
+void
+SmtPipeline::setShares(const std::array<double, SmtConfig::kThreads> &s)
+{
+    shares_ = s;
+}
+
+void
+SmtPipeline::scheduleEvent(uint64_t at, int thread, int type)
+{
+    assert(at > now_);
+    // Pathological dependence chains can push an issue time past the
+    // calendar horizon; clamp (releasing the entry slightly early)
+    // rather than wrap around.
+    if (at - now_ >= kCalendarSize)
+        at = now_ + kCalendarSize - 1;
+    calendar_[at % kCalendarSize].push_back(
+        {static_cast<int8_t>(thread), static_cast<int8_t>(type)});
+}
+
+void
+SmtPipeline::processEvents()
+{
+    auto &bucket = calendar_[now_ % kCalendarSize];
+    for (const Event &e : bucket) {
+        Thread &th = threads_[e.thread];
+        if (e.type == 0)
+            --th.iqUsed;
+        else
+            --th.sqUsed;
+    }
+    bucket.clear();
+}
+
+void
+SmtPipeline::commitStage()
+{
+    int budget = config_.commitWidth;
+    // Alternate which thread gets first claim on commit bandwidth.
+    const int first = static_cast<int>(now_ & 1);
+    for (int i = 0; i < SmtConfig::kThreads && budget > 0; ++i) {
+        const int t = (first + i) % SmtConfig::kThreads;
+        Thread &th = threads_[t];
+        while (budget > 0 && !th.rob.empty() &&
+               th.rob.front().completeCycle <= now_) {
+            const RobEntry e = th.rob.front();
+            th.rob.pop_front();
+            --th.robUsed;
+            switch (e.kind) {
+              case UopKind::Load:
+                --th.lqUsed;
+                --th.irfUsed;
+                break;
+              case UopKind::Store:
+                // SQ entry drains to memory after commit.
+                scheduleEvent(now_ + std::max<uint64_t>(
+                                         e.drainLatency, 1),
+                              t, 1);
+                break;
+              case UopKind::Branch:
+                --th.branchesInRob;
+                break;
+              case UopKind::IntAlu:
+                --th.irfUsed;
+                break;
+              case UopKind::FpAlu:
+                --th.frfUsed;
+                break;
+            }
+            ++th.committed;
+            --budget;
+        }
+    }
+}
+
+bool
+SmtPipeline::tryDispatch(int t, unsigned &block_mask)
+{
+    Thread &th = threads_[t];
+    if (th.fetchQueue.empty())
+        return false;
+    const Uop &uop = th.fetchQueue.front();
+
+    const int rob_total = threads_[0].robUsed + threads_[1].robUsed;
+    const int iq_total = threads_[0].iqUsed + threads_[1].iqUsed;
+    const int lq_total = threads_[0].lqUsed + threads_[1].lqUsed;
+    const int sq_total = threads_[0].sqUsed + threads_[1].sqUsed;
+    const int irf_total = threads_[0].irfUsed + threads_[1].irfUsed;
+    const int frf_total = threads_[0].frfUsed + threads_[1].frfUsed;
+
+    unsigned blocked = 0;
+    if (rob_total >= config_.robSize)
+        blocked |= 1u << 0;
+    if (iq_total >= config_.iqSize)
+        blocked |= 1u << 1;
+    if (uop.kind == UopKind::Load && lq_total >= config_.lqSize)
+        blocked |= 1u << 2;
+    if (uop.kind == UopKind::Store && sq_total >= config_.sqSize)
+        blocked |= 1u << 3;
+    const bool needs_irf =
+        uop.kind == UopKind::IntAlu || uop.kind == UopKind::Load;
+    const bool needs_frf = uop.kind == UopKind::FpAlu;
+    if ((needs_irf && irf_total >= config_.irfSize) ||
+        (needs_frf && frf_total >= config_.frfSize)) {
+        blocked |= 1u << 4;
+    }
+    if (blocked) {
+        block_mask |= blocked;
+        return false;
+    }
+
+    // Dispatch: compute the uop's issue and completion times from its
+    // register dependency, then allocate structures.
+    uint64_t dep_ready = 0;
+    if (uop.depDistance > 0 &&
+        static_cast<uint64_t>(uop.depDistance) <= th.dispatchedCount &&
+        uop.depDistance <= kDepRing) {
+        dep_ready = th.completionRing[(th.dispatchedCount -
+                                       uop.depDistance) % kDepRing];
+    }
+    const uint64_t issue = std::max(now_ + 1, dep_ready);
+    const uint64_t complete = issue + uop.execLatency;
+    th.completionRing[th.dispatchedCount % kDepRing] = complete;
+    ++th.dispatchedCount;
+
+    ++th.robUsed;
+    ++th.iqUsed;
+    scheduleEvent(issue, t, 0); // IQ entry frees at issue
+    switch (uop.kind) {
+      case UopKind::Load:
+        ++th.lqUsed;
+        ++th.irfUsed;
+        break;
+      case UopKind::Store:
+        ++th.sqUsed;
+        break;
+      case UopKind::Branch:
+        ++th.branchesInRob;
+        if (uop.mispredicted) {
+            // The frontend redirects when the branch resolves.
+            th.fetchBlockedUntil = std::max(
+                th.fetchBlockedUntil,
+                complete + config_.mispredictPenalty);
+        }
+        break;
+      case UopKind::IntAlu:
+        ++th.irfUsed;
+        break;
+      case UopKind::FpAlu:
+        ++th.frfUsed;
+        break;
+    }
+
+    RobEntry entry;
+    entry.completeCycle = complete;
+    entry.drainLatency = uop.drainLatency;
+    entry.kind = uop.kind;
+    th.rob.push_back(entry);
+    th.fetchQueue.pop_front();
+    return true;
+}
+
+void
+SmtPipeline::renameStage()
+{
+    int budget = config_.decodeWidth;
+    int dispatched = 0;
+    unsigned block_mask = 0;
+
+    while (budget > 0) {
+        bool progressed = false;
+        for (int i = 0; i < SmtConfig::kThreads && budget > 0; ++i) {
+            const int t = (renameNext_ + i) % SmtConfig::kThreads;
+            if (tryDispatch(t, block_mask)) {
+                ++dispatched;
+                --budget;
+                progressed = true;
+                renameNext_ = (t + 1) % SmtConfig::kThreads;
+            }
+        }
+        if (!progressed)
+            break;
+    }
+
+    ++renameStats_.cycles;
+    if (dispatched > 0) {
+        ++renameStats_.running;
+        return;
+    }
+    const bool any_input = !threads_[0].fetchQueue.empty() ||
+        !threads_[1].fetchQueue.empty();
+    if (!any_input) {
+        ++renameStats_.idle;
+        return;
+    }
+    ++renameStats_.stalled;
+    if (block_mask & (1u << 0))
+        ++renameStats_.stallRob;
+    if (block_mask & (1u << 1))
+        ++renameStats_.stallIq;
+    if (block_mask & (1u << 2))
+        ++renameStats_.stallLq;
+    if (block_mask & (1u << 3))
+        ++renameStats_.stallSq;
+    if (block_mask & (1u << 4))
+        ++renameStats_.stallRf;
+}
+
+bool
+SmtPipeline::isGated(int t) const
+{
+    if (!policy_.anyGating())
+        return false;
+    const Thread &th = threads_[t];
+    const double s = shares_[t];
+    if (policy_.gateIq &&
+        th.iqUsed > s * config_.iqSize) {
+        return true;
+    }
+    if (policy_.gateLsq &&
+        th.lqUsed + th.sqUsed >
+            s * (config_.lqSize + config_.sqSize)) {
+        return true;
+    }
+    if (policy_.gateRob &&
+        th.robUsed > s * config_.robSize) {
+        return true;
+    }
+    if (policy_.gateIrf &&
+        th.irfUsed > s * config_.irfSize) {
+        return true;
+    }
+    return false;
+}
+
+int
+SmtPipeline::pickFetchThread() const
+{
+    auto eligible = [&](int t) {
+        const Thread &th = threads_[t];
+        return !isGated(t) && th.fetchBlockedUntil <= now_ &&
+            static_cast<int>(th.fetchQueue.size()) <
+                config_.fetchQueueSize;
+    };
+
+    if (policy_.priority == FetchPriority::RR) {
+        for (int i = 0; i < SmtConfig::kThreads; ++i) {
+            const int t = (rrNext_ + i) % SmtConfig::kThreads;
+            if (eligible(t))
+                return t;
+        }
+        return -1;
+    }
+
+    int best = -1;
+    int best_metric = 0;
+    for (int t = 0; t < SmtConfig::kThreads; ++t) {
+        if (!eligible(t))
+            continue;
+        const Thread &th = threads_[t];
+        int metric = 0;
+        switch (policy_.priority) {
+          case FetchPriority::IC:
+            metric = th.iqUsed;
+            break;
+          case FetchPriority::BrC:
+            metric = th.branchesInRob;
+            break;
+          case FetchPriority::LSQC:
+            metric = th.lqUsed + th.sqUsed;
+            break;
+          case FetchPriority::RR:
+            break;
+        }
+        if (best < 0 || metric < best_metric) {
+            best = t;
+            best_metric = metric;
+        }
+    }
+    return best;
+}
+
+void
+SmtPipeline::fetchStage()
+{
+    const int t = pickFetchThread();
+    if (t < 0)
+        return;
+    if (policy_.priority == FetchPriority::RR)
+        rrNext_ = (t + 1) % SmtConfig::kThreads;
+
+    Thread &th = threads_[t];
+    const int room = config_.fetchQueueSize -
+        static_cast<int>(th.fetchQueue.size());
+    const int count = std::min(config_.fetchWidth, room);
+    for (int i = 0; i < count; ++i) {
+        Uop uop = sources_[t]->next();
+        const bool redirect =
+            uop.kind == UopKind::Branch && uop.mispredicted;
+        th.fetchQueue.push_back(uop);
+        if (redirect) {
+            // Conservative frontend bubble until the branch resolves
+            // (extended at dispatch once the resolve time is known).
+            th.fetchBlockedUntil = std::max(
+                th.fetchBlockedUntil,
+                now_ + config_.mispredictPenalty);
+            break;
+        }
+    }
+}
+
+void
+SmtPipeline::cycle()
+{
+    processEvents();
+    commitStage();
+    renameStage();
+    fetchStage();
+    ++now_;
+}
+
+void
+SmtPipeline::run(uint64_t n)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        cycle();
+}
+
+} // namespace mab

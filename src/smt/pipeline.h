@@ -1,0 +1,180 @@
+#ifndef MAB_SMT_PIPELINE_H
+#define MAB_SMT_PIPELINE_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "smt/fetch_policy.h"
+#include "smt/thread_source.h"
+
+namespace mab {
+
+/** SMT pipeline parameters (Table 5 defaults; Skylake-like). */
+struct SmtConfig
+{
+    static constexpr int kThreads = 2;
+
+    int fetchWidth = 6;
+    int decodeWidth = 5;
+    int commitWidth = 8;
+
+    int iqSize = 97;
+    int robSize = 224;
+    int lqSize = 72;
+    int sqSize = 56;
+    int irfSize = 180;
+    int frfSize = 164;
+
+    /** Decoded-uop buffer between fetch and rename, per thread. */
+    int fetchQueueSize = 24;
+
+    uint64_t mispredictPenalty = 12;
+};
+
+/** Rename-stage activity accounting (Figure 15). */
+struct RenameStats
+{
+    uint64_t stallRob = 0;
+    uint64_t stallIq = 0;
+    uint64_t stallLq = 0;
+    uint64_t stallSq = 0;
+    uint64_t stallRf = 0;
+
+    /** Cycles rename dispatched nothing because a structure was full. */
+    uint64_t stalled = 0;
+    /** Cycles rename had no incoming uops (e.g. fetch gating). */
+    uint64_t idle = 0;
+    /** Cycles rename dispatched at least one uop. */
+    uint64_t running = 0;
+
+    uint64_t cycles = 0;
+};
+
+/**
+ * Cycle-level model of a 2-thread SMT out-of-order pipeline with
+ * dynamically shared structures (the gem5/SecSMT stand-in; DESIGN.md).
+ *
+ * Per cycle the model commits (in order, per thread, shared width),
+ * renames/dispatches from the per-thread fetch queues (shared width;
+ * the stage stalls when the ROB, IQ, LQ, SQ or a register file is
+ * exhausted — the Figure 15 taxonomy), and fetches from the single
+ * thread chosen by the active fetch Priority & Gating policy.
+ * Execution is modeled by computing each uop's completion time at
+ * dispatch from its register dependency and sampled latency; IQ and
+ * SQ occupancies drain through a calendar queue at the corresponding
+ * issue/drain times, so structure backpressure behaves realistically
+ * without per-cycle wakeup scans.
+ */
+class SmtPipeline
+{
+  public:
+    SmtPipeline(const SmtConfig &config,
+                std::array<ThreadSource *, SmtConfig::kThreads> sources);
+
+    /** Install the fetch PG policy (a Bandit arm or a static policy). */
+    void setPolicy(const PgPolicy &policy) { policy_ = policy; }
+    const PgPolicy &policy() const { return policy_; }
+
+    /**
+     * Install per-thread occupancy shares (from Hill Climbing). A
+     * thread whose occupancy of a monitored structure exceeds its
+     * share of that structure is fetch-gated.
+     */
+    void setShares(const std::array<double, SmtConfig::kThreads> &s);
+
+    /** Advance one cycle. */
+    void cycle();
+
+    /** Run @p n cycles. */
+    void run(uint64_t n);
+
+    uint64_t cycles() const { return now_; }
+    uint64_t committed(int t) const { return threads_[t].committed; }
+
+    double
+    ipc(int t) const
+    {
+        return now_ == 0 ? 0.0
+                         : static_cast<double>(threads_[t].committed) /
+                static_cast<double>(now_);
+    }
+
+    double ipcSum() const { return ipc(0) + ipc(1); }
+
+    const RenameStats &renameStats() const { return renameStats_; }
+
+    /** Occupancy introspection (tests, priority metrics). */
+    int iqUsed(int t) const { return threads_[t].iqUsed; }
+    int robUsed(int t) const { return threads_[t].robUsed; }
+    int lqUsed(int t) const { return threads_[t].lqUsed; }
+    int sqUsed(int t) const { return threads_[t].sqUsed; }
+    int irfUsed(int t) const { return threads_[t].irfUsed; }
+    int frfUsed(int t) const { return threads_[t].frfUsed; }
+    int branchesInRob(int t) const { return threads_[t].branchesInRob; }
+
+    /** True if thread @p t is currently fetch-gated. */
+    bool isGated(int t) const;
+
+  private:
+    static constexpr int kCalendarSize = 32768;
+    static constexpr int kDepRing = 64;
+
+    struct RobEntry
+    {
+        uint64_t completeCycle = 0;
+        uint32_t drainLatency = 0;
+        UopKind kind = UopKind::IntAlu;
+    };
+
+    struct Thread
+    {
+        std::deque<Uop> fetchQueue;
+        std::deque<RobEntry> rob;
+        std::array<uint64_t, kDepRing> completionRing{};
+        uint64_t dispatchedCount = 0;
+        uint64_t committed = 0;
+        uint64_t fetchBlockedUntil = 0;
+
+        int iqUsed = 0;
+        int robUsed = 0;
+        int lqUsed = 0;
+        int sqUsed = 0;
+        int irfUsed = 0;
+        int frfUsed = 0;
+        int branchesInRob = 0;
+    };
+
+    struct Event
+    {
+        int8_t thread;
+        int8_t type; // 0 = IQ release, 1 = SQ release
+    };
+
+    void scheduleEvent(uint64_t at, int thread, int type);
+    void processEvents();
+    void commitStage();
+    void renameStage();
+    void fetchStage();
+    int pickFetchThread() const;
+    bool tryDispatch(int t, unsigned &block_mask);
+
+    int totalUsed(int structure) const;
+
+    SmtConfig config_;
+    std::array<ThreadSource *, SmtConfig::kThreads> sources_;
+    std::array<Thread, SmtConfig::kThreads> threads_;
+    std::array<double, SmtConfig::kThreads> shares_{0.5, 0.5};
+    PgPolicy policy_;
+
+    std::vector<std::vector<Event>> calendar_;
+    uint64_t now_ = 0;
+    int rrNext_ = 0;
+    int renameNext_ = 0;
+    RenameStats renameStats_;
+};
+
+} // namespace mab
+
+#endif // MAB_SMT_PIPELINE_H

@@ -1,0 +1,99 @@
+#include "smt/smt_sim.h"
+
+namespace mab {
+
+SmtSimulator::SmtSimulator(std::string app0, std::string app1,
+                           const SmtRunConfig &config,
+                           const SmtConfig &pipe_config)
+    : config_(config), pipeConfig_(pipe_config),
+      src0_(smtAppByName(app0), config.seed * 0x9E37u + 1),
+      src1_(smtAppByName(app1), config.seed * 0x9E37u + 2)
+{
+}
+
+template <typename EpochHook>
+SmtRunResult
+SmtSimulator::runLoop(SmtPipeline &pipe, HillClimbing &hc,
+                      EpochHook &&onEpoch)
+{
+    SmtRunResult res;
+    std::array<bool, 2> recorded{false, false};
+    uint64_t epoch_start_instr = 0;
+
+    pipe.setShares({hc.share(0), hc.share(1)});
+
+    for (uint64_t c = 1; c <= config_.maxCycles; ++c) {
+        pipe.cycle();
+
+        if (config_.instrPerThread != 0) {
+            bool all = true;
+            for (int t = 0; t < 2; ++t) {
+                if (!recorded[t] &&
+                    pipe.committed(t) >= config_.instrPerThread) {
+                    recorded[t] = true;
+                    res.ipc[t] = pipe.ipc(t);
+                }
+                all = all && recorded[t];
+            }
+            if (all)
+                break;
+        }
+
+        if (c % config_.hcEpochCycles == 0) {
+            const uint64_t instr = pipe.committed(0) +
+                pipe.committed(1);
+            const double perf =
+                static_cast<double>(instr - epoch_start_instr) /
+                static_cast<double>(config_.hcEpochCycles);
+            epoch_start_instr = instr;
+            hc.endEpoch(perf);
+            onEpoch(instr, c);
+            pipe.setShares({hc.share(0), hc.share(1)});
+        }
+    }
+
+    for (int t = 0; t < 2; ++t) {
+        if (!recorded[t])
+            res.ipc[t] = pipe.ipc(t);
+    }
+    res.ipcSum = res.ipc[0] + res.ipc[1];
+    res.cycles = pipe.cycles();
+    res.rename = pipe.renameStats();
+    return res;
+}
+
+SmtRunResult
+SmtSimulator::runStatic(const PgPolicy &policy)
+{
+    src0_.reset();
+    src1_.reset();
+    SmtPipeline pipe(pipeConfig_, {&src0_, &src1_});
+    pipe.setPolicy(policy);
+
+    HillClimbing hc({pipeConfig_.iqSize, config_.hcDelta});
+    return runLoop(pipe, hc, [](uint64_t, uint64_t) {});
+}
+
+SmtRunResult
+SmtSimulator::runBandit(const SmtBanditConfig &config)
+{
+    src0_.reset();
+    src1_.reset();
+    SmtPipeline pipe(pipeConfig_, {&src0_, &src1_});
+
+    BanditPgSelector selector(config);
+    pipe.setPolicy(selector.currentPolicy());
+
+    HillClimbing hc({pipeConfig_.iqSize, config_.hcDelta});
+    SmtRunResult res = runLoop(
+        pipe, hc, [&](uint64_t instr, uint64_t cycles) {
+            if (selector.onEpochEnd(instr, cycles, hc))
+                pipe.setPolicy(selector.currentPolicy());
+        });
+
+    for (const auto &[cycle, arm] : selector.agent().history())
+        res.armHistory.emplace_back(cycle, arm);
+    return res;
+}
+
+} // namespace mab

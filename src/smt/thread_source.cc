@@ -1,0 +1,174 @@
+#include "smt/thread_source.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mab {
+
+ThreadSource::ThreadSource(const SmtAppParams &params, uint64_t seed)
+    : params_(params), seed_(seed), rng_(seed)
+{
+}
+
+void
+ThreadSource::reset()
+{
+    rng_.reseed(seed_);
+}
+
+Uop
+ThreadSource::next()
+{
+    Uop uop;
+    const double r = rng_.uniform();
+    double acc = params_.loadFrac;
+    if (r < acc) {
+        uop.kind = UopKind::Load;
+        if (rng_.bernoulli(params_.l1MissRate)) {
+            if (rng_.bernoulli(params_.dramRate)) {
+                // Spread DRAM latencies to model bank/queue variance.
+                uop.execLatency = params_.dramLatency +
+                    static_cast<uint32_t>(rng_.below(64));
+            } else {
+                uop.execLatency = params_.l2Latency;
+            }
+        } else {
+            uop.execLatency = 4;
+        }
+    } else if (r < (acc += params_.storeFrac)) {
+        uop.kind = UopKind::Store;
+        uop.execLatency = 1;
+        uop.drainLatency =
+            rng_.bernoulli(params_.storeDrainDramRate)
+                ? params_.dramLatency
+                : params_.l2Latency;
+    } else if (r < (acc += params_.branchFrac)) {
+        uop.kind = UopKind::Branch;
+        uop.execLatency = 1;
+        uop.mispredicted = rng_.bernoulli(params_.mispredictRate);
+    } else if (r < (acc += params_.fpFrac)) {
+        uop.kind = UopKind::FpAlu;
+        uop.execLatency = 4;
+    } else {
+        uop.kind = UopKind::IntAlu;
+        uop.execLatency = 1;
+    }
+
+    if (rng_.bernoulli(params_.depProb)) {
+        const uint64_t d = 1 +
+            rng_.geometric(1.0 / params_.depMeanDistance, 62);
+        uop.depDistance = static_cast<uint16_t>(d);
+    }
+    return uop;
+}
+
+namespace {
+
+SmtAppParams
+makeApp(const std::string &name, double load, double store,
+        double branch, double fp, double mpred, double l1miss,
+        double dram, double dep_prob, int dep_dist,
+        double store_drain = 0.05)
+{
+    SmtAppParams p;
+    p.name = name;
+    p.loadFrac = load;
+    p.storeFrac = store;
+    p.branchFrac = branch;
+    p.fpFrac = fp;
+    p.mispredictRate = mpred;
+    p.l1MissRate = l1miss;
+    p.dramRate = dram;
+    p.depProb = dep_prob;
+    p.depMeanDistance = dep_dist;
+    p.storeDrainDramRate = store_drain;
+    return p;
+}
+
+} // namespace
+
+const std::vector<SmtAppParams> &
+smtAppCatalog()
+{
+    // 22 SPEC17-like profiles. The first 10 form the tune set.
+    // Parameters qualitatively track the well-known behaviour of each
+    // application: lbm = store/DRAM heavy (SQ pressure), mcf =
+    // pointer-chasing low ILP, exchange2 = branchy compute, etc.
+    static const std::vector<SmtAppParams> catalog = {
+        makeApp("gcc", 0.26, 0.12, 0.20, 0.02, 0.020, 0.06, 0.25,
+                0.55, 6),
+        // lbm: read streams mostly covered by hardware prefetching,
+        // write streams miss and drain slowly — it aggressively
+        // consumes SQ entries (Section 3.3 / SecSMT observation).
+        makeApp("lbm", 0.24, 0.26, 0.04, 0.16, 0.002, 0.06, 0.50,
+                0.35, 14, 0.70),
+        makeApp("mcf", 0.32, 0.08, 0.18, 0.00, 0.035, 0.16, 0.60,
+                0.70, 3),
+        makeApp("cactuBSSN", 0.28, 0.12, 0.03, 0.25, 0.002, 0.10,
+                0.45, 0.45, 14),
+        makeApp("perlbench", 0.26, 0.12, 0.18, 0.01, 0.015, 0.03,
+                0.15, 0.55, 6),
+        makeApp("bwaves", 0.30, 0.10, 0.04, 0.24, 0.003, 0.12, 0.55,
+                0.40, 16),
+        makeApp("namd", 0.24, 0.10, 0.04, 0.30, 0.003, 0.03, 0.15,
+                0.40, 18),
+        makeApp("parest", 0.27, 0.10, 0.06, 0.22, 0.005, 0.06, 0.30,
+                0.45, 12),
+        makeApp("povray", 0.22, 0.09, 0.12, 0.20, 0.010, 0.01, 0.05,
+                0.50, 10),
+        makeApp("wrf", 0.26, 0.11, 0.05, 0.24, 0.004, 0.08, 0.40,
+                0.45, 14),
+        makeApp("blender", 0.24, 0.10, 0.10, 0.16, 0.010, 0.04, 0.20,
+                0.50, 10),
+        makeApp("cam4", 0.25, 0.11, 0.07, 0.22, 0.006, 0.07, 0.35,
+                0.45, 12),
+        makeApp("imagick", 0.23, 0.10, 0.05, 0.26, 0.003, 0.02, 0.10,
+                0.35, 20),
+        makeApp("nab", 0.24, 0.09, 0.07, 0.24, 0.005, 0.04, 0.20,
+                0.45, 14),
+        makeApp("fotonik3d", 0.28, 0.16, 0.03, 0.22, 0.002, 0.08,
+                0.55, 0.40, 16, 0.45),
+        makeApp("roms", 0.28, 0.11, 0.05, 0.23, 0.004, 0.10, 0.45,
+                0.40, 14),
+        makeApp("x264", 0.24, 0.10, 0.08, 0.14, 0.008, 0.03, 0.15,
+                0.50, 10),
+        makeApp("deepsjeng", 0.24, 0.10, 0.16, 0.00, 0.025, 0.03,
+                0.15, 0.60, 5),
+        makeApp("leela", 0.24, 0.09, 0.16, 0.01, 0.030, 0.02, 0.10,
+                0.60, 5),
+        makeApp("exchange2", 0.18, 0.10, 0.22, 0.00, 0.012, 0.01,
+                0.05, 0.55, 6),
+        makeApp("xz", 0.27, 0.10, 0.14, 0.00, 0.020, 0.08, 0.40,
+                0.60, 5),
+        makeApp("xalancbmk", 0.28, 0.09, 0.18, 0.00, 0.020, 0.05,
+                0.20, 0.60, 5),
+    };
+    return catalog;
+}
+
+const SmtAppParams &
+smtAppByName(const std::string &name)
+{
+    for (const auto &app : smtAppCatalog()) {
+        if (app.name == name)
+            return app;
+    }
+    throw std::out_of_range("unknown SMT app: " + name);
+}
+
+std::vector<std::pair<std::string, std::string>>
+smtMixes(size_t count, size_t apps_limit)
+{
+    const auto &catalog = smtAppCatalog();
+    const size_t n = apps_limit == 0
+        ? catalog.size()
+        : std::min(apps_limit, catalog.size());
+    std::vector<std::pair<std::string, std::string>> mixes;
+    for (size_t i = 0; i < n && mixes.size() < count; ++i) {
+        for (size_t j = i + 1; j < n && mixes.size() < count; ++j)
+            mixes.emplace_back(catalog[i].name, catalog[j].name);
+    }
+    return mixes;
+}
+
+} // namespace mab

@@ -1,0 +1,115 @@
+#ifndef MAB_SMT_THREAD_SOURCE_H
+#define MAB_SMT_THREAD_SOURCE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace mab {
+
+/** Micro-op kinds modeled by the SMT pipeline. */
+enum class UopKind
+{
+    IntAlu,
+    FpAlu,
+    Load,
+    Store,
+    Branch,
+};
+
+/** One decoded micro-op of an SMT thread. */
+struct Uop
+{
+    UopKind kind = UopKind::IntAlu;
+
+    /** Execution latency after issue (loads: memory latency). */
+    uint32_t execLatency = 1;
+
+    /** Stores: cycles the SQ entry drains after commit. */
+    uint32_t drainLatency = 0;
+
+    /** Mispredicted branch (pre-resolved by the generator). */
+    bool mispredicted = false;
+
+    /**
+     * Register dependency: this uop consumes the result of the uop
+     * @c depDistance positions earlier in the same thread (0 = no
+     * dependency). Short distances model low-ILP code.
+     */
+    uint16_t depDistance = 0;
+};
+
+/**
+ * Statistical profile of an SMT thread (the stand-in for a SimPointed
+ * SPEC17 binary; see DESIGN.md). The parameters control the pressure
+ * the thread puts on each pipeline structure — the property the fetch
+ * PG policies differentiate on.
+ */
+struct SmtAppParams
+{
+    std::string name;
+
+    double loadFrac = 0.25;
+    double storeFrac = 0.10;
+    double branchFrac = 0.15;
+    double fpFrac = 0.10;
+
+    double mispredictRate = 0.01;
+
+    /** P(load misses L1) and P(load goes to DRAM | missed L1). */
+    double l1MissRate = 0.05;
+    double dramRate = 0.2;
+
+    uint32_t l2Latency = 16;
+    uint32_t dramLatency = 300;
+
+    /**
+     * Dependency profile: probability that a uop depends on a recent
+     * producer, and the mean back-distance when it does. Low mean
+     * distance = serial (low-ILP) code.
+     */
+    double depProb = 0.5;
+    int depMeanDistance = 8;
+
+    /** P(store drains slowly, occupying its SQ entry for a long
+     *  time) — the lbm-style SQ-exhaustion behaviour (Section 3.3). */
+    double storeDrainDramRate = 0.05;
+};
+
+/** Deterministic generator of a thread's micro-op stream. */
+class ThreadSource
+{
+  public:
+    ThreadSource(const SmtAppParams &params, uint64_t seed);
+
+    Uop next();
+    void reset();
+
+    const SmtAppParams &params() const { return params_; }
+    const std::string &name() const { return params_.name; }
+
+  private:
+    SmtAppParams params_;
+    uint64_t seed_;
+    Rng rng_;
+};
+
+/** The 22 SPEC17-like SMT app profiles of Section 6.2. */
+const std::vector<SmtAppParams> &smtAppCatalog();
+
+/** Look up a catalog app by name. */
+const SmtAppParams &smtAppByName(const std::string &name);
+
+/**
+ * The 2-thread mixes of the evaluation: all unordered pairs of the
+ * catalog, truncated to @p count (226 in Figure 13; the tune set of
+ * Table 9 uses 43 mixes drawn from the first 10 apps).
+ */
+std::vector<std::pair<std::string, std::string>>
+smtMixes(size_t count, size_t apps_limit = 0);
+
+} // namespace mab
+
+#endif // MAB_SMT_THREAD_SOURCE_H

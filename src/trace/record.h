@@ -1,0 +1,62 @@
+#ifndef MAB_TRACE_RECORD_H
+#define MAB_TRACE_RECORD_H
+
+#include <cstdint>
+
+namespace mab {
+
+/**
+ * One dynamic instruction of a trace.
+ *
+ * The format is deliberately close to what trace-driven simulators like
+ * ChampSim consume: a PC, an optional memory operand, and the control
+ * flow information the core model needs (branch + misprediction
+ * outcome, pre-resolved by the trace generator so that runs are
+ * deterministic).
+ */
+struct TraceRecord
+{
+    /** Program counter of the instruction. */
+    uint64_t pc = 0;
+
+    /** Byte address of the memory operand; only valid for loads/stores. */
+    uint64_t addr = 0;
+
+    /** True if the instruction loads from memory. */
+    bool isLoad = false;
+
+    /** True if the instruction stores to memory. */
+    bool isStore = false;
+
+    /** True if the instruction is a branch. */
+    bool isBranch = false;
+
+    /**
+     * True if the branch was mispredicted (the generator resolves the
+     * predictor outcome so the timing model stays deterministic).
+     */
+    bool mispredicted = false;
+
+    /**
+     * True if this load's address depends on the value of the previous
+     * load (pointer chasing); such loads serialize in the core model
+     * and defeat memory-level parallelism.
+     */
+    bool dependsOnPrevLoad = false;
+
+    bool isMemory() const { return isLoad || isStore; }
+};
+
+/** Cache line size used throughout the simulator. */
+constexpr uint64_t kLineBytes = 64;
+
+/** Align @p addr down to its cache line base. */
+constexpr uint64_t
+lineAddr(uint64_t addr)
+{
+    return addr & ~(kLineBytes - 1);
+}
+
+} // namespace mab
+
+#endif // MAB_TRACE_RECORD_H

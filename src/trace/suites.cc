@@ -1,0 +1,292 @@
+#include "trace/suites.h"
+
+#include <stdexcept>
+
+namespace mab {
+
+namespace {
+
+constexpr uint64_t kKiB = 1024;
+constexpr uint64_t kMiB = 1024 * kKiB;
+
+/** Shorthand phase builders. Lengths are in dynamic instructions and
+ *  sized for the scaled-down runs of the bench harness (DESIGN.md). */
+PatternPhase
+phase(PatternKind kind, uint64_t footprint, uint64_t len)
+{
+    PatternPhase ph;
+    ph.kind = kind;
+    ph.footprintBytes = footprint;
+    ph.lengthInstrs = len;
+    return ph;
+}
+
+PatternPhase
+stream(uint64_t footprint, uint64_t len, double mem = 0.35,
+       double stores = 0.25)
+{
+    PatternPhase ph = phase(PatternKind::Streaming, footprint, len);
+    ph.memFraction = mem;
+    ph.storeFraction = stores;
+    // Sequential 8B elements plus read-modify-write reuse: a 64B line
+    // is touched many times before the stream moves on.
+    ph.accessesPerLine = 12;
+    return ph;
+}
+
+PatternPhase
+strided(uint64_t footprint, int64_t stride, uint64_t len,
+        double mem = 0.35)
+{
+    PatternPhase ph = phase(PatternKind::Strided, footprint, len);
+    ph.strideBytes = stride;
+    ph.memFraction = mem;
+    ph.accessesPerLine = 8; // several operands per strided element
+    return ph;
+}
+
+PatternPhase
+chase(uint64_t footprint, uint64_t len, double mem = 0.3)
+{
+    PatternPhase ph = phase(PatternKind::PointerChase, footprint, len);
+    ph.memFraction = mem;
+    ph.mispredictRate = 0.03;
+    ph.accessesPerLine = 2; // node payload next to the link
+    return ph;
+}
+
+PatternPhase
+spatial(uint64_t footprint, uint64_t len, double mem = 0.3)
+{
+    PatternPhase ph = phase(PatternKind::SpatialRegion, footprint, len);
+    ph.memFraction = mem;
+    ph.accessesPerLine = 6;
+    return ph;
+}
+
+PatternPhase
+rnd(uint64_t footprint, uint64_t len, double mem = 0.25)
+{
+    PatternPhase ph = phase(PatternKind::Random, footprint, len);
+    ph.memFraction = mem;
+    ph.mispredictRate = 0.02;
+    ph.accessesPerLine = 2;
+    return ph;
+}
+
+AppProfile
+app(std::string name, uint64_t seed, std::vector<PatternPhase> phases)
+{
+    AppProfile a;
+    a.name = std::move(name);
+    a.seed = seed;
+    a.phases = std::move(phases);
+    return a;
+}
+
+std::vector<WorkloadSpec>
+spec06()
+{
+    std::vector<WorkloadSpec> w;
+    auto add = [&](AppProfile a) {
+        w.push_back({std::move(a), "SPEC06"});
+    };
+    add(app("gcc06", 101, {strided(4 * kMiB, 256, 600'000),
+                           chase(16 * kMiB, 400'000)}));
+    // mcf06 has the coarse phase change Figure 7 highlights: a long
+    // pointer-heavy phase followed by a strided phase.
+    add(app("mcf06", 102, {chase(96 * kMiB, 1'500'000, 0.38),
+                           strided(32 * kMiB, 320, 1'200'000, 0.4)}));
+    add(app("lbm06", 103, {stream(128 * kMiB, 1'000'000, 0.45, 0.5)}));
+    add(app("libquantum06", 104, {stream(32 * kMiB, 1'000'000, 0.3,
+                                         0.05)}));
+    add(app("bwaves06", 105, {strided(64 * kMiB, 512, 1'000'000, 0.4)}));
+    add(app("milc06", 106, {stream(48 * kMiB, 500'000, 0.35, 0.3),
+                            spatial(48 * kMiB, 400'000, 0.3)}));
+    add(app("omnetpp06", 107, {chase(48 * kMiB, 1'000'000, 0.33)}));
+    add(app("soplex06", 108, {strided(32 * kMiB, 128, 500'000),
+                              spatial(32 * kMiB, 400'000, 0.33)}));
+    add(app("cactusADM06", 109, {strided(64 * kMiB, 1024, 1'000'000,
+                                         0.38)}));
+    add(app("sphinx06", 110, {spatial(16 * kMiB, 900'000, 0.32)}));
+    return w;
+}
+
+std::vector<WorkloadSpec>
+spec17()
+{
+    std::vector<WorkloadSpec> w;
+    auto add = [&](AppProfile a) {
+        w.push_back({std::move(a), "SPEC17"});
+    };
+    add(app("gcc17", 201, {strided(8 * kMiB, 192, 500'000),
+                           chase(24 * kMiB, 400'000, 0.28)}));
+    add(app("mcf17", 202, {chase(128 * kMiB, 1'200'000, 0.4),
+                           rnd(64 * kMiB, 500'000, 0.35)}));
+    add(app("lbm17", 203, {stream(192 * kMiB, 1'000'000, 0.48, 0.5)}));
+    add(app("cactuBSSN17", 204, {strided(96 * kMiB, 768, 800'000, 0.4),
+                                 strided(96 * kMiB, 2048, 500'000,
+                                         0.4)}));
+    // xalancbmk's working set fits in L2: prefetching barely matters
+    // and aggressive arms only pollute.
+    add(app("xalancbmk17", 205, {chase(192 * kKiB, 800'000, 0.3)}));
+    add(app("deepsjeng17", 206, {rnd(512 * kKiB, 400'000, 0.18),
+                                 spatial(16 * kMiB, 400'000, 0.25)}));
+    add(app("x264_17", 207, {spatial(24 * kMiB, 800'000, 0.33)}));
+    add(app("pop2_17", 208, {stream(48 * kMiB, 800'000, 0.36, 0.3)}));
+    add(app("fotonik17", 209, {stream(96 * kMiB, 1'000'000, 0.42,
+                                      0.2)}));
+    add(app("roms17", 210, {strided(64 * kMiB, 384, 900'000, 0.4)}));
+    add(app("xz17", 211, {rnd(64 * kMiB, 700'000, 0.22)}));
+    add(app("wrf17", 212, {strided(48 * kMiB, 256, 500'000),
+                           stream(48 * kMiB, 500'000, 0.35, 0.3)}));
+    // exchange2 is compute-bound; the memory system is nearly idle.
+    add(app("exchange17", 213, {[] {
+        PatternPhase ph = rnd(64 * kKiB, 1'000'000, 0.06);
+        ph.branchFraction = 0.2;
+        ph.mispredictRate = 0.005;
+        return ph;
+    }()}));
+    return w;
+}
+
+std::vector<WorkloadSpec>
+ligra()
+{
+    std::vector<WorkloadSpec> w;
+    auto add = [&](AppProfile a) {
+        w.push_back({std::move(a), "Ligra"});
+    };
+    // Graph kernels: sequential sweeps over edge arrays interleaved
+    // with irregular vertex-data gathers.
+    add(app("ligra_bfs", 301, {stream(64 * kMiB, 300'000, 0.35, 0.1),
+                               rnd(64 * kMiB, 400'000, 0.35)}));
+    add(app("ligra_pagerank", 302, {stream(96 * kMiB, 500'000, 0.4, 0.2),
+                                    rnd(96 * kMiB, 300'000, 0.4)}));
+    add(app("ligra_components", 303, {rnd(64 * kMiB, 400'000, 0.38),
+                                      stream(64 * kMiB, 250'000, 0.35,
+                                             0.15)}));
+    add(app("ligra_bc", 304, {stream(48 * kMiB, 300'000, 0.38, 0.2),
+                              chase(48 * kMiB, 300'000, 0.3)}));
+    add(app("ligra_radii", 305, {rnd(96 * kMiB, 400'000, 0.36),
+                                 stream(96 * kMiB, 250'000, 0.36,
+                                        0.2)}));
+    add(app("ligra_triangle", 306, {stream(128 * kMiB, 500'000, 0.42,
+                                           0.05),
+                                    rnd(128 * kMiB, 300'000, 0.4)}));
+    return w;
+}
+
+std::vector<WorkloadSpec>
+parsec()
+{
+    std::vector<WorkloadSpec> w;
+    auto add = [&](AppProfile a) {
+        w.push_back({std::move(a), "PARSEC"});
+    };
+    add(app("parsec_blackscholes", 401, {stream(8 * kMiB, 800'000, 0.2,
+                                                0.3)}));
+    add(app("parsec_canneal", 402, {rnd(128 * kMiB, 800'000, 0.33)}));
+    add(app("parsec_fluidanimate", 403, {strided(32 * kMiB, 320,
+                                                 800'000, 0.35)}));
+    add(app("parsec_streamcluster", 404, {stream(64 * kMiB, 900'000,
+                                                 0.42, 0.1)}));
+    add(app("parsec_dedup", 405, {spatial(32 * kMiB, 400'000, 0.3),
+                                  stream(32 * kMiB, 300'000, 0.3,
+                                         0.3)}));
+    add(app("parsec_ferret", 406, {rnd(48 * kMiB, 400'000, 0.3),
+                                   spatial(48 * kMiB, 300'000, 0.3)}));
+    return w;
+}
+
+std::vector<WorkloadSpec>
+cloudsuite()
+{
+    std::vector<WorkloadSpec> w;
+    auto add = [&](AppProfile a) {
+        w.push_back({std::move(a), "CloudSuite"});
+    };
+    auto cloudy = [](uint64_t ws, uint64_t len) {
+        PatternPhase ph = rnd(ws, len, 0.3);
+        ph.branchFraction = 0.22;
+        ph.mispredictRate = 0.04;
+        return ph;
+    };
+    add(app("cloud_cassandra", 501, {cloudy(96 * kMiB, 500'000),
+                                     stream(96 * kMiB, 200'000, 0.3,
+                                            0.3)}));
+    add(app("cloud_classification", 502, {cloudy(64 * kMiB, 500'000),
+                                          strided(64 * kMiB, 256,
+                                                  200'000, 0.3)}));
+    add(app("cloud_cloud9", 503, {cloudy(128 * kMiB, 700'000)}));
+    add(app("cloud_nutch", 504, {cloudy(64 * kMiB, 400'000),
+                                 spatial(64 * kMiB, 200'000, 0.28)}));
+    return w;
+}
+
+} // namespace
+
+std::vector<std::string>
+allSuites()
+{
+    return {"SPEC06", "SPEC17", "Ligra", "PARSEC", "CloudSuite"};
+}
+
+std::vector<WorkloadSpec>
+suiteWorkloads(const std::string &suite)
+{
+    if (suite == "SPEC06")
+        return spec06();
+    if (suite == "SPEC17")
+        return spec17();
+    if (suite == "Ligra")
+        return ligra();
+    if (suite == "PARSEC")
+        return parsec();
+    if (suite == "CloudSuite")
+        return cloudsuite();
+    throw std::out_of_range("unknown suite: " + suite);
+}
+
+std::vector<WorkloadSpec>
+allWorkloads()
+{
+    std::vector<WorkloadSpec> all;
+    for (const auto &suite : allSuites()) {
+        auto w = suiteWorkloads(suite);
+        all.insert(all.end(), w.begin(), w.end());
+    }
+    return all;
+}
+
+std::vector<AppProfile>
+tuneSetPrefetch()
+{
+    std::vector<AppProfile> tune;
+    for (const auto &suite : {"SPEC06", "SPEC17"}) {
+        for (const auto &spec : suiteWorkloads(suite)) {
+            // Two deterministic variants per app (different seeds model
+            // different trace regions of the same binary), 46 total.
+            AppProfile v1 = spec.app;
+            v1.name += "_a";
+            AppProfile v2 = spec.app;
+            v2.name += "_b";
+            v2.seed = spec.app.seed * 7919 + 13;
+            tune.push_back(std::move(v1));
+            tune.push_back(std::move(v2));
+        }
+    }
+    return tune;
+}
+
+AppProfile
+appByName(const std::string &name)
+{
+    for (const auto &spec : allWorkloads()) {
+        if (spec.app.name == name)
+            return spec.app;
+    }
+    throw std::out_of_range("unknown app: " + name);
+}
+
+} // namespace mab

@@ -1,0 +1,44 @@
+#ifndef MAB_TRACE_SUITES_H
+#define MAB_TRACE_SUITES_H
+
+#include <string>
+#include <vector>
+
+#include "trace/generator.h"
+
+namespace mab {
+
+/** A workload together with the suite it belongs to. */
+struct WorkloadSpec
+{
+    AppProfile app;
+    std::string suite;
+};
+
+/**
+ * Names of the application suites of Section 6.2, in the order the
+ * paper's figures report them.
+ */
+std::vector<std::string> allSuites();
+
+/** Workloads of one suite ("SPEC06", "SPEC17", "Ligra", "PARSEC",
+ *  "CloudSuite"). Throws std::out_of_range for unknown names. */
+std::vector<WorkloadSpec> suiteWorkloads(const std::string &suite);
+
+/** Every workload of every suite. */
+std::vector<WorkloadSpec> allWorkloads();
+
+/**
+ * The prefetching tune set of Section 6.3: 46 SPEC traces (two
+ * deterministic variants of each SPEC06/SPEC17 app). Non-SPEC suites
+ * are deliberately excluded so the evaluation tests adaptability to
+ * unseen suites, mirroring the paper.
+ */
+std::vector<AppProfile> tuneSetPrefetch();
+
+/** Look up a single app profile by name (e.g. "mcf06"). */
+AppProfile appByName(const std::string &name);
+
+} // namespace mab
+
+#endif // MAB_TRACE_SUITES_H

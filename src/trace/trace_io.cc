@@ -1,0 +1,150 @@
+#include "trace/trace_io.h"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace mab {
+namespace {
+
+constexpr char kMagic[4] = {'M', 'A', 'B', 'T'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kRecordBytes = 24;
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void
+encode(const TraceRecord &rec, unsigned char *buf)
+{
+    std::memcpy(buf, &rec.pc, 8);
+    std::memcpy(buf + 8, &rec.addr, 8);
+    unsigned char flags = 0;
+    flags |= rec.isLoad ? 1u : 0u;
+    flags |= rec.isStore ? 2u : 0u;
+    flags |= rec.isBranch ? 4u : 0u;
+    flags |= rec.mispredicted ? 8u : 0u;
+    flags |= rec.dependsOnPrevLoad ? 16u : 0u;
+    buf[16] = flags;
+    std::memset(buf + 17, 0, 7);
+}
+
+TraceRecord
+decode(const unsigned char *buf)
+{
+    TraceRecord rec;
+    std::memcpy(&rec.pc, buf, 8);
+    std::memcpy(&rec.addr, buf + 8, 8);
+    const unsigned char flags = buf[16];
+    rec.isLoad = flags & 1u;
+    rec.isStore = flags & 2u;
+    rec.isBranch = flags & 4u;
+    rec.mispredicted = flags & 8u;
+    rec.dependsOnPrevLoad = flags & 16u;
+    return rec;
+}
+
+} // namespace
+
+namespace trace_io {
+
+bool
+write(const std::string &path, TraceSource &source, uint64_t count)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+
+    unsigned char header[16] = {};
+    std::memcpy(header, kMagic, 4);
+    std::memcpy(header + 4, &kVersion, 4);
+    std::memcpy(header + 8, &count, 8);
+    if (std::fwrite(header, 1, sizeof(header), f.get()) !=
+        sizeof(header)) {
+        return false;
+    }
+
+    std::array<unsigned char, kRecordBytes> buf;
+    for (uint64_t i = 0; i < count; ++i) {
+        encode(source.next(), buf.data());
+        if (std::fwrite(buf.data(), 1, buf.size(), f.get()) !=
+            buf.size()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+uint64_t
+recordCount(const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return 0;
+    unsigned char header[16];
+    if (std::fread(header, 1, sizeof(header), f.get()) !=
+        sizeof(header)) {
+        return 0;
+    }
+    if (std::memcmp(header, kMagic, 4) != 0)
+        return 0;
+    uint64_t count = 0;
+    std::memcpy(&count, header + 8, 8);
+    return count;
+}
+
+} // namespace trace_io
+
+FileTrace::FileTrace(const std::string &path) : name_(path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        throw std::runtime_error("cannot open trace: " + path);
+
+    unsigned char header[16];
+    if (std::fread(header, 1, sizeof(header), f.get()) !=
+            sizeof(header) ||
+        std::memcmp(header, kMagic, 4) != 0) {
+        throw std::runtime_error("bad trace header: " + path);
+    }
+    uint32_t version = 0;
+    std::memcpy(&version, header + 4, 4);
+    if (version != kVersion)
+        throw std::runtime_error("unsupported trace version");
+
+    uint64_t count = 0;
+    std::memcpy(&count, header + 8, 8);
+    if (count == 0)
+        throw std::runtime_error("empty trace: " + path);
+
+    records_.reserve(count);
+    std::array<unsigned char, kRecordBytes> buf;
+    for (uint64_t i = 0; i < count; ++i) {
+        if (std::fread(buf.data(), 1, buf.size(), f.get()) !=
+            buf.size()) {
+            throw std::runtime_error("truncated trace: " + path);
+        }
+        records_.push_back(decode(buf.data()));
+    }
+}
+
+TraceRecord
+FileTrace::next()
+{
+    const TraceRecord rec = records_[pos_];
+    if (++pos_ >= records_.size()) {
+        pos_ = 0;
+        ++laps_;
+    }
+    return rec;
+}
+
+} // namespace mab

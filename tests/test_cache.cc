@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "memory/cache.h"
+#include "sim/rng.h"
+#include "trace/record.h"
+
+namespace mab {
+namespace {
+
+CacheConfig
+smallCache()
+{
+    return {"test", 4 * 1024, 4, 4}; // 16 sets x 4 ways
+}
+
+TEST(Cache, GeometryComputedFromConfig)
+{
+    Cache c(smallCache());
+    EXPECT_EQ(c.numSets(), 16u);
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.lookupDemand(0x1000, 0).hit);
+    c.fill(0x1000, 10, false);
+    EXPECT_TRUE(c.lookupDemand(0x1000, 20).hit);
+    EXPECT_EQ(c.demandHits, 1u);
+    EXPECT_EQ(c.demandMisses, 1u);
+}
+
+TEST(Cache, InflightLineReportsReadyCycle)
+{
+    Cache c(smallCache());
+    c.fill(0x2000, 500, false);
+    const auto r = c.lookupDemand(0x2000, 100);
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.inflight);
+    EXPECT_EQ(r.readyCycle, 500u);
+    const auto r2 = c.lookupDemand(0x2000, 600);
+    EXPECT_FALSE(r2.inflight);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache c(smallCache());
+    // Fill one set (4 ways): lines mapping to the same set are
+    // setBytes apart (16 sets * 64B = 1KB).
+    for (uint64_t i = 0; i < 4; ++i)
+        c.fill(i * 1024, 0, false);
+    // Touch lines 0..2 so line 3 becomes LRU.
+    c.lookupDemand(0 * 1024, 1);
+    c.lookupDemand(1 * 1024, 2);
+    c.lookupDemand(2 * 1024, 3);
+    const auto evict = c.fill(4 * 1024, 0, false);
+    EXPECT_TRUE(evict.evictedValid);
+    EXPECT_EQ(evict.evictedLine, 3 * 1024u);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(3 * 1024));
+}
+
+TEST(Cache, FillIntoPresentLineIsNoOp)
+{
+    Cache c(smallCache());
+    c.fill(0x40, 0, false);
+    const auto evict = c.fill(0x40, 0, true);
+    EXPECT_FALSE(evict.evictedValid);
+    EXPECT_TRUE(c.contains(0x40));
+}
+
+TEST(Cache, DemandFillClearsPrefetchTag)
+{
+    Cache c(smallCache());
+    c.fill(0x40, 0, true);
+    c.fill(0x40, 0, false); // demand fill promotes
+    // Evicting it now must not count as an unused prefetch.
+    for (uint64_t i = 1; i <= 4; ++i)
+        c.fill(0x40 + i * 1024, 0, false);
+    EXPECT_FALSE(c.contains(0x40));
+}
+
+TEST(Cache, PrefetchFirstUseReportedOnce)
+{
+    Cache c(smallCache());
+    c.fill(0x80, 0, true);
+    EXPECT_TRUE(c.lookupDemand(0x80, 10).prefetchFirstUse);
+    EXPECT_FALSE(c.lookupDemand(0x80, 20).prefetchFirstUse);
+}
+
+TEST(Cache, UnusedPrefetchEvictionFlagged)
+{
+    Cache c(smallCache());
+    c.fill(0x0, 0, true);
+    Cache::EvictInfo evict;
+    for (uint64_t i = 1; i <= 4; ++i) {
+        evict = c.fill(i * 1024, 0, false);
+        if (evict.evictedValid)
+            break;
+    }
+    EXPECT_TRUE(evict.evictedValid);
+    EXPECT_TRUE(evict.evictedUnusedPrefetch);
+}
+
+TEST(Cache, UsedPrefetchEvictionNotFlagged)
+{
+    Cache c(smallCache());
+    c.fill(0x0, 0, true);
+    c.lookupDemand(0x0, 5);
+    // Make line 0 LRU again by touching the others.
+    for (uint64_t i = 1; i < 4; ++i) {
+        c.fill(i * 1024, 0, false);
+        c.lookupDemand(i * 1024, 10 + i);
+    }
+    const auto evict = c.fill(4 * 1024, 0, false);
+    EXPECT_TRUE(evict.evictedValid);
+    EXPECT_FALSE(evict.evictedUnusedPrefetch);
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c(smallCache());
+    c.fill(0x100, 0, false);
+    EXPECT_TRUE(c.contains(0x100));
+    c.invalidate(0x100);
+    EXPECT_FALSE(c.contains(0x100));
+}
+
+TEST(Cache, ClearResetsContentsAndStats)
+{
+    Cache c(smallCache());
+    c.fill(0x100, 0, false);
+    c.lookupDemand(0x100, 1);
+    c.lookupDemand(0x200, 1);
+    c.clear();
+    EXPECT_FALSE(c.contains(0x100));
+    EXPECT_EQ(c.demandHits, 0u);
+    EXPECT_EQ(c.demandMisses, 0u);
+}
+
+TEST(Cache, ContainsDoesNotUpdateStats)
+{
+    Cache c(smallCache());
+    c.contains(0x5000);
+    EXPECT_EQ(c.demandMisses, 0u);
+}
+
+/** Property sweep: invariants hold across geometries. */
+class CacheGeometryTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CacheGeometryTest, NeverExceedsCapacityAndFindsRecentLines)
+{
+    const auto [size_kb, ways] = GetParam();
+    CacheConfig cfg{"p", static_cast<uint64_t>(size_kb) * 1024, ways,
+                    4};
+    Cache c(cfg);
+    Rng rng(size_kb * 131 + ways);
+    const uint64_t lines = cfg.sizeBytes / kLineBytes;
+
+    uint64_t evictions = 0;
+    std::set<uint64_t> inserted;
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t line = rng.below(4 * lines) * kLineBytes;
+        const bool fresh = inserted.insert(line).second;
+        const auto evict = c.fill(line, 0, rng.bernoulli(0.3));
+        evictions += evict.evictedValid;
+        // A just-filled line must be present, and an eviction must
+        // never report the line that was just inserted.
+        ASSERT_TRUE(c.contains(line));
+        if (evict.evictedValid)
+            ASSERT_NE(evict.evictedLine, line);
+        (void)fresh;
+    }
+    // Capacity conservation: at least (distinct inserts - capacity)
+    // lines must have been evicted.
+    if (inserted.size() > lines)
+        EXPECT_GE(evictions, inserted.size() - lines);
+}
+
+TEST_P(CacheGeometryTest, WorkingSetSmallerThanWaysAlwaysHits)
+{
+    const auto [size_kb, ways] = GetParam();
+    CacheConfig cfg{"p", static_cast<uint64_t>(size_kb) * 1024, ways,
+                    4};
+    Cache c(cfg);
+    // 'ways' lines mapping to the same set can all live there.
+    const uint64_t set_stride = c.numSets() * kLineBytes;
+    for (int w = 0; w < ways; ++w)
+        c.fill(static_cast<uint64_t>(w) * set_stride, 0, false);
+    for (int round = 0; round < 3; ++round) {
+        for (int w = 0; w < ways; ++w) {
+            ASSERT_TRUE(
+                c.lookupDemand(static_cast<uint64_t>(w) * set_stride,
+                               100)
+                    .hit);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Combine(::testing::Values(4, 32, 256),
+                       ::testing::Values(1, 4, 8, 16)));
+
+} // namespace
+} // namespace mab

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "smt/fetch_policy.h"
+
+namespace mab {
+namespace {
+
+TEST(FetchPolicy, SixtyFourPoliciesAllDistinct)
+{
+    const auto policies = allPgPolicies();
+    ASSERT_EQ(policies.size(), 64u);
+    std::set<std::string> names;
+    for (const auto &p : policies)
+        EXPECT_TRUE(names.insert(p.name()).second) << p.name();
+}
+
+TEST(FetchPolicy, MnemonicFormat)
+{
+    PgPolicy p;
+    p.priority = FetchPriority::IC;
+    p.gateIq = true;
+    p.gateRob = true;
+    p.gateIrf = true;
+    EXPECT_EQ(p.name(), "IC_1011");
+    p.priority = FetchPriority::LSQC;
+    p.gateLsq = true;
+    EXPECT_EQ(p.name(), "LSQC_1111");
+}
+
+TEST(FetchPolicy, ParseRoundTrips)
+{
+    for (const auto &p : allPgPolicies())
+        EXPECT_EQ(pgPolicyFromName(p.name()), p);
+}
+
+TEST(FetchPolicy, ParseRejectsGarbage)
+{
+    EXPECT_THROW(pgPolicyFromName("XX_0000"), std::out_of_range);
+    EXPECT_THROW(pgPolicyFromName("IC_2000"), std::out_of_range);
+}
+
+TEST(FetchPolicy, IcountIsTullsenOriginal)
+{
+    const PgPolicy p = icountPolicy();
+    EXPECT_EQ(p.priority, FetchPriority::IC);
+    EXPECT_FALSE(p.anyGating());
+}
+
+TEST(FetchPolicy, ChoiIsIc1011)
+{
+    const PgPolicy p = choiPolicy();
+    EXPECT_EQ(p.name(), "IC_1011");
+    EXPECT_TRUE(p.gateIq);
+    EXPECT_FALSE(p.gateLsq); // the LSQ blindness Section 3.3 fixes
+    EXPECT_TRUE(p.gateRob);
+    EXPECT_TRUE(p.gateIrf);
+}
+
+TEST(FetchPolicy, ArmTableMatchesTable1)
+{
+    const auto &arms = smtArmTable();
+    ASSERT_EQ(arms.size(), 6u);
+    EXPECT_EQ(arms[0].name(), "IC_0000");
+    EXPECT_EQ(arms[1].name(), "BrC_1000");
+    EXPECT_EQ(arms[2].name(), "IC_1110");
+    EXPECT_EQ(arms[3].name(), "IC_1111");
+    EXPECT_EQ(arms[4].name(), "LSQC_1111");
+    EXPECT_EQ(arms[5].name(), "RR_1111");
+}
+
+TEST(FetchPolicy, ArmsAreASubsetOfTheFullSpace)
+{
+    const auto all = allPgPolicies();
+    for (const auto &arm : smtArmTable()) {
+        EXPECT_NE(std::find(all.begin(), all.end(), arm), all.end())
+            << arm.name();
+    }
+}
+
+TEST(FetchPolicy, PriorityNames)
+{
+    EXPECT_EQ(toString(FetchPriority::BrC), "BrC");
+    EXPECT_EQ(toString(FetchPriority::IC), "IC");
+    EXPECT_EQ(toString(FetchPriority::LSQC), "LSQC");
+    EXPECT_EQ(toString(FetchPriority::RR), "RR");
+}
+
+} // namespace
+} // namespace mab

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cpu/multicore.h"
+#include "trace/suites.h"
+
+namespace mab {
+namespace {
+
+struct Mix
+{
+    std::vector<std::unique_ptr<SyntheticTrace>> traces;
+    std::vector<std::unique_ptr<Prefetcher>> pfs;
+};
+
+MultiCoreResult
+runHomogeneous(const std::string &app_name, int cores,
+               uint64_t instr_per_core)
+{
+    MultiCoreSystem sys(CoreConfig{}, HierarchyConfig{}, DramConfig{},
+                        cores);
+    Mix mix;
+    for (int c = 0; c < cores; ++c) {
+        AppProfile app = appByName(app_name);
+        app.seed += static_cast<uint64_t>(c) * 101;
+        mix.traces.push_back(std::make_unique<SyntheticTrace>(app));
+        mix.pfs.push_back(std::make_unique<NullPrefetcher>());
+        sys.attachCore(c, *mix.traces.back(), mix.pfs.back().get());
+    }
+    return sys.run(instr_per_core);
+}
+
+TEST(MultiCore, EveryCoreReachesTarget)
+{
+    const MultiCoreResult r = runHomogeneous("gcc06", 4, 50'000);
+    ASSERT_EQ(r.ipc.size(), 4u);
+    for (double ipc : r.ipc)
+        EXPECT_GT(ipc, 0.0);
+    EXPECT_NEAR(r.sumIpc, r.ipc[0] + r.ipc[1] + r.ipc[2] + r.ipc[3],
+                1e-9);
+}
+
+TEST(MultiCore, BandwidthContentionDegradesPerCoreIpc)
+{
+    // A bandwidth-hungry app: 4 cores sharing one channel must each
+    // run slower than a core alone.
+    const MultiCoreResult solo = runHomogeneous("lbm06", 1, 300'000);
+    const MultiCoreResult quad = runHomogeneous("lbm06", 4, 300'000);
+    EXPECT_LT(quad.ipc[0], 0.9 * solo.ipc[0]);
+}
+
+TEST(MultiCore, ComputeBoundAppsScaleCleanly)
+{
+    const MultiCoreResult solo = runHomogeneous("exchange17", 1,
+                                                300'000);
+    const MultiCoreResult quad = runHomogeneous("exchange17", 4,
+                                                300'000);
+    EXPECT_GT(quad.ipc[0], 0.88 * solo.ipc[0]);
+}
+
+TEST(MultiCore, Deterministic)
+{
+    const MultiCoreResult a = runHomogeneous("milc06", 2, 50'000);
+    const MultiCoreResult b = runHomogeneous("milc06", 2, 50'000);
+    EXPECT_DOUBLE_EQ(a.sumIpc, b.sumIpc);
+}
+
+} // namespace
+} // namespace mab

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "power/power_model.h"
+
+namespace mab {
+namespace {
+
+TEST(PowerModel, MatchesPaperHeadlineNumbers)
+{
+    const BanditAreaPower ap = banditAreaPower();
+    // Section 6.5: 0.00044 mm^2 and 0.11 mW at 10nm.
+    EXPECT_NEAR(ap.areaMm2, 0.00044, 0.0001);
+    EXPECT_NEAR(ap.powerMw, 0.11, 0.03);
+}
+
+TEST(PowerModel, RelativeOverheadBelowPaperBound)
+{
+    const RelativeOverhead rel = relativeOverhead();
+    EXPECT_LT(rel.areaPercent, 0.003);
+    EXPECT_LT(rel.powerPercent, 0.003);
+    EXPECT_GT(rel.areaPercent, 0.0);
+}
+
+TEST(PowerModel, AreaGrowsWithArms)
+{
+    PowerModelConfig small;
+    small.numArms = 6;
+    PowerModelConfig big;
+    big.numArms = 64;
+    EXPECT_LT(banditAreaPower(small).areaMm2,
+              banditAreaPower(big).areaMm2);
+}
+
+TEST(PowerModel, StorageComparisonOrdering)
+{
+    const StorageComparison s = storageComparison();
+    EXPECT_LT(s.banditAgent, 100u);        // < 100B headline
+    EXPECT_LT(s.banditTotal, 2048u);       // < 2KB with prefetchers
+    EXPECT_GT(s.pythia, 24u * 1024u);      // ~25.5KB
+    EXPECT_EQ(s.mlop, 8u * 1024u);         // 8KB
+    EXPECT_EQ(s.bingo, 46u * 1024u);       // 46KB
+    EXPECT_LT(s.banditTotal, s.mlop);
+}
+
+TEST(PowerModel, OverheadScalesWithCoreCount)
+{
+    ReferenceCpu few;
+    few.cores = 10;
+    ReferenceCpu many;
+    many.cores = 40;
+    EXPECT_LT(relativeOverhead({}, few).areaPercent,
+              relativeOverhead({}, many).areaPercent);
+}
+
+} // namespace
+} // namespace mab

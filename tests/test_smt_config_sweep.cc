@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "smt/pipeline.h"
+#include "smt/thread_source.h"
+
+namespace mab {
+namespace {
+
+/**
+ * Property sweep over pipeline geometries: the structural invariants
+ * of the SMT model must hold for any (sane) configuration, and
+ * shrinking a structure must never increase throughput.
+ */
+
+SmtAppParams
+mixedApp()
+{
+    SmtAppParams p;
+    p.name = "mixed";
+    p.loadFrac = 0.28;
+    p.storeFrac = 0.15;
+    p.branchFrac = 0.12;
+    p.fpFrac = 0.15;
+    p.mispredictRate = 0.01;
+    p.l1MissRate = 0.10;
+    p.dramRate = 0.5;
+    p.depProb = 0.5;
+    p.depMeanDistance = 8;
+    p.storeDrainDramRate = 0.3;
+    return p;
+}
+
+class SmtGeometryTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(SmtGeometryTest, InvariantsHoldForGeometry)
+{
+    const auto [rob, iq, sq] = GetParam();
+    SmtConfig cfg;
+    cfg.robSize = rob;
+    cfg.iqSize = iq;
+    cfg.sqSize = sq;
+
+    ThreadSource a(mixedApp(), 1), b(mixedApp(), 2);
+    SmtPipeline pipe(cfg, {&a, &b});
+    pipe.setPolicy(choiPolicy());
+
+    for (int i = 0; i < 20'000; ++i) {
+        pipe.cycle();
+        ASSERT_LE(pipe.robUsed(0) + pipe.robUsed(1), rob);
+        ASSERT_LE(pipe.iqUsed(0) + pipe.iqUsed(1), iq);
+        ASSERT_LE(pipe.sqUsed(0) + pipe.sqUsed(1), sq);
+        ASSERT_GE(pipe.iqUsed(0), 0);
+        ASSERT_GE(pipe.sqUsed(1), 0);
+    }
+    // Work got done under every geometry.
+    EXPECT_GT(pipe.committed(0) + pipe.committed(1), 2'000u);
+    const RenameStats &s = pipe.renameStats();
+    EXPECT_EQ(s.stalled + s.idle + s.running, s.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SmtGeometryTest,
+    ::testing::Values(std::make_tuple(64, 32, 16),
+                      std::make_tuple(128, 64, 32),
+                      std::make_tuple(224, 97, 56),
+                      std::make_tuple(512, 192, 112)));
+
+TEST(SmtGeometry, BiggerRobNeverHurts)
+{
+    auto run = [](int rob_size) {
+        SmtConfig cfg;
+        cfg.robSize = rob_size;
+        ThreadSource a(mixedApp(), 1), b(mixedApp(), 2);
+        SmtPipeline pipe(cfg, {&a, &b});
+        pipe.setPolicy(choiPolicy());
+        pipe.run(60'000);
+        return pipe.ipcSum();
+    };
+    EXPECT_GE(run(448) * 1.02, run(112)); // allow 2% noise
+    EXPECT_GT(run(448), 0.9 * run(112));
+}
+
+TEST(SmtGeometry, TinySqThrottlesStoreHeavyThread)
+{
+    auto run = [](int sq_size) {
+        SmtConfig cfg;
+        cfg.sqSize = sq_size;
+        ThreadSource a(smtAppByName("lbm"), 1);
+        ThreadSource b(smtAppByName("povray"), 2);
+        SmtPipeline pipe(cfg, {&a, &b});
+        pipe.setPolicy(icountPolicy());
+        pipe.run(60'000);
+        return pipe.ipc(0); // the store-heavy thread
+    };
+    EXPECT_LT(run(8), run(112));
+}
+
+} // namespace
+} // namespace mab

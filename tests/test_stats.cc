@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/stats.h"
+
+namespace mab {
+namespace {
+
+TEST(Stats, MeanBasic)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, MeanEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, GmeanBasic)
+{
+    EXPECT_NEAR(gmean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(gmean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, GmeanSingleElement)
+{
+    EXPECT_NEAR(gmean({3.7}), 3.7, 1e-12);
+}
+
+TEST(Stats, GmeanLessThanMeanForSpread)
+{
+    const std::vector<double> xs = {1.0, 9.0};
+    EXPECT_LT(gmean(xs), mean(xs));
+}
+
+TEST(Stats, MinMax)
+{
+    const std::vector<double> xs = {3.0, -1.0, 7.0};
+    EXPECT_DOUBLE_EQ(minOf(xs), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf(xs), 7.0);
+}
+
+TEST(Stats, PercentileEndpoints)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+}
+
+TEST(Stats, PercentileMedian)
+{
+    EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0}, 50), 2.0);
+    EXPECT_DOUBLE_EQ(percentile({1.0, 3.0}, 50), 2.0);
+}
+
+TEST(Stats, StddevBasic)
+{
+    EXPECT_NEAR(stddev({2.0, 4.0}), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(Stats, SummarizeRatiosAsPercent)
+{
+    const RatioSummary s = summarizeRatios({0.9, 1.0, 1.1});
+    EXPECT_NEAR(s.min, 90.0, 1e-9);
+    EXPECT_NEAR(s.max, 110.0, 1e-9);
+    EXPECT_NEAR(s.gmean, 100.0 * std::cbrt(0.9 * 1.0 * 1.1), 1e-9);
+}
+
+TEST(Stats, FmtPrecision)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 1), "2.0");
+}
+
+} // namespace
+} // namespace mab
