@@ -15,7 +15,7 @@ using namespace mab;
 using namespace mab::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const uint64_t instr = scaled(1'000'000);
     const auto pf_names = comparisonPrefetchers();
@@ -24,11 +24,25 @@ main()
     std::map<std::string, std::map<std::string, std::vector<double>>>
         speedups;
 
+    json::Value apps = json::Value::array();
     for (const auto &spec : allWorkloads()) {
         const PfRun base = runPrefetchNamed(spec.app, "None", instr);
         for (const auto &pf : pf_names) {
             const PfRun r = runPrefetchNamed(spec.app, pf, instr);
             speedups[pf][spec.suite].push_back(r.ipc / base.ipc);
+
+            json::Value row = json::Value::object();
+            row["app"] = spec.app.name;
+            row["suite"] = spec.suite;
+            row["prefetcher"] = pf;
+            row["ipc"] = r.ipc;
+            row["speedup"] = r.ipc / base.ipc;
+            row["llcDemandMisses"] = r.llcDemandMisses;
+            row["pfIssued"] = r.pf.issued;
+            row["pfTimely"] = r.pf.timely;
+            row["pfLate"] = r.pf.late;
+            row["pfWrong"] = r.pf.wrong;
+            apps.push(std::move(row));
         }
     }
 
@@ -62,5 +76,20 @@ main()
             100.0 * (overall["Bandit"] / overall[pf] - 1.0);
         std::printf("Measured:  Bandit vs %-7s %+5.1f%%\n", pf, delta);
     }
-    return 0;
+
+    json::Value root = json::Value::object();
+    root["bench"] = "fig8_singlecore";
+    root["instructions"] = instr;
+    root["scale"] = benchScale();
+    json::Value gm = json::Value::object();
+    for (const auto &pf : pf_names) {
+        json::Value per_suite = json::Value::object();
+        for (const auto &suite : allSuites())
+            per_suite[suite] = gmean(speedups[pf][suite]);
+        per_suite["ALL"] = overall[pf];
+        gm[pf] = std::move(per_suite);
+    }
+    root["gmeanSpeedup"] = std::move(gm);
+    root["runs"] = std::move(apps);
+    return writeJsonReport(root, argc, argv) ? 0 : 1;
 }

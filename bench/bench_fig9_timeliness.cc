@@ -17,7 +17,7 @@ using namespace mab;
 using namespace mab::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const uint64_t instr = scaled(1'000'000);
     std::vector<std::string> configs = comparisonPrefetchers();
@@ -66,5 +66,23 @@ main()
                 "MLOP 63%%, Pythia 72%%, Bandit 67%%;\n"
                 "       Bandit wrong prefetches -66%% vs Bingo, "
                 "-58%% vs MLOP; BanditIdeal ~= Bandit.\n");
-    return 0;
+
+    json::Value root = json::Value::object();
+    root["bench"] = "fig9_timeliness";
+    root["instructions"] = instr;
+    root["scale"] = benchScale();
+    json::Value table = json::Value::object();
+    for (const auto &pf : configs) {
+        const Acc &a = acc[pf];
+        const double n = std::max(a.n, 1);
+        json::Value row = json::Value::object();
+        row["llcMiss"] = a.llcMiss / n;
+        row["timely"] = a.timely / n;
+        row["late"] = a.late / n;
+        row["wrong"] = a.wrong / n;
+        row["apps"] = a.n;
+        table[pf] = std::move(row);
+    }
+    root["normalizedOutcomes"] = std::move(table);
+    return writeJsonReport(root, argc, argv) ? 0 : 1;
 }

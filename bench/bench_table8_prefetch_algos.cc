@@ -18,7 +18,7 @@ using namespace mab;
 using namespace mab::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const uint64_t instr = scaled(1'500'000);
     const auto tune = tuneSetPrefetch();
@@ -74,5 +74,21 @@ main()
     std::printf("Paper:  min  88.7 / 72.8 / 80.3 / 89.8 / 88.6 / 95.0\n"
                 "        max 102.5 /100.0 / 99.8 / 99.9 /100.0 /101.6\n"
                 "        gm   98.4 / 96.5 / 94.1 / 97.3 / 98.8 / 99.1\n");
-    return 0;
+
+    json::Value root = json::Value::object();
+    root["bench"] = "table8_prefetch_algos";
+    root["instructions"] = instr;
+    root["scale"] = benchScale();
+    root["traces"] = static_cast<uint64_t>(tune.size());
+    json::Value table = json::Value::object();
+    for (const auto &l : labels) {
+        const RatioSummary s = summarizeRatios(ratios[l]);
+        json::Value row = json::Value::object();
+        row["min"] = s.min;
+        row["max"] = s.max;
+        row["gmean"] = s.gmean;
+        table[l] = std::move(row);
+    }
+    root["pctOfBestStatic"] = std::move(table);
+    return writeJsonReport(root, argc, argv) ? 0 : 1;
 }

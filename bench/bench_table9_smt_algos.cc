@@ -18,7 +18,7 @@ using namespace mab;
 using namespace mab::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     SmtRunConfig run_cfg;
     run_cfg.maxCycles = scaled(800'000);
@@ -76,5 +76,21 @@ main()
     std::printf("Paper:  min  77.2 / 77.8 / 88.4 / 92.0 / 90.9 / 92.2\n"
                 "        max 101.0 /101.1 /100.4 /100.5 /101.1 /101.4\n"
                 "        gm   94.5 / 96.8 / 97.2 / 97.8 / 98.4 / 98.6\n");
-    return 0;
+
+    json::Value root = json::Value::object();
+    root["bench"] = "table9_smt_algos";
+    root["maxCycles"] = run_cfg.maxCycles;
+    root["scale"] = benchScale();
+    root["mixes"] = static_cast<uint64_t>(mixes.size());
+    json::Value table = json::Value::object();
+    for (const auto &c : cols) {
+        const RatioSummary s = summarizeRatios(ratios[c]);
+        json::Value row = json::Value::object();
+        row["min"] = s.min;
+        row["max"] = s.max;
+        row["gmean"] = s.gmean;
+        table[c] = std::move(row);
+    }
+    root["pctOfBestStatic"] = std::move(table);
+    return writeJsonReport(root, argc, argv) ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "prefetch/mlop.h"
 #include "prefetch/pythia.h"
 #include "prefetch/stride.h"
+#include "sim/json.h"
 #include "sim/stats.h"
 #include "trace/suites.h"
 
@@ -51,6 +53,51 @@ inline uint64_t
 scaled(uint64_t n)
 {
     return static_cast<uint64_t>(static_cast<double>(n) * benchScale());
+}
+
+/**
+ * Structured-output destination: `--json <path>` on the command line,
+ * else the MAB_BENCH_JSON environment variable, else none. Every
+ * bench binary keeps printing its human-readable table; the JSON file
+ * is emitted alongside for machine consumption (diffing, plotting,
+ * regression tracking).
+ */
+inline const char *
+jsonOutPath(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            return argv[i + 1];
+    }
+    return std::getenv("MAB_BENCH_JSON");
+}
+
+/**
+ * Write @p root to the destination selected by jsonOutPath(), if any.
+ * Returns false (and reports on stderr) on I/O failure so binaries
+ * can exit nonzero.
+ */
+inline bool
+writeJsonReport(const json::Value &root, int argc, char **argv)
+{
+    const char *path = jsonOutPath(argc, argv);
+    if (!path)
+        return true;
+    std::FILE *f = std::fopen(path, "wb");
+    if (!f) {
+        std::fprintf(stderr, "cannot open json output: %s\n", path);
+        return false;
+    }
+    const std::string text = root.dump(2);
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    const bool closed = std::fclose(f) == 0;
+    if (!ok || !closed) {
+        std::fprintf(stderr, "short write on json output: %s\n", path);
+        return false;
+    }
+    std::printf("json report written to %s\n", path);
+    return true;
 }
 
 /** Names of the prefetchers compared in Figures 8/9/11/14. */
@@ -130,12 +177,24 @@ struct PfRun
     uint64_t instructions = 0;
 };
 
-/** Run @p app with @p pf for @p instr instructions. */
+/**
+ * Run @p app with @p pf for @p instr instructions.
+ *
+ * @param seed When nonzero, overrides the profile's base seed for the
+ *             synthetic trace, making the run's input stream — and
+ *             therefore every exported counter — a pure function of
+ *             (app, pf, instr, hier, dram, seed). Zero keeps
+ *             app.seed, the per-workload default.
+ */
 inline PfRun
 runPrefetch(const AppProfile &app, Prefetcher &pf, uint64_t instr,
-            const HierarchyConfig &hier = {}, const DramConfig &dram = {})
+            const HierarchyConfig &hier = {}, const DramConfig &dram = {},
+            uint64_t seed = 0)
 {
-    SyntheticTrace trace(app);
+    AppProfile seeded = app;
+    if (seed != 0)
+        seeded.seed = seed;
+    SyntheticTrace trace(seeded);
     CoreModel core(CoreConfig{}, hier, trace, &pf, nullptr, dram);
 
     // Give learning prefetchers that want it a DRAM utilization probe
@@ -161,14 +220,15 @@ runPrefetch(const AppProfile &app, Prefetcher &pf, uint64_t instr,
     return r;
 }
 
-/** Convenience: run by prefetcher name. */
+/** Convenience: run by prefetcher name. A nonzero @p seed seeds both
+ *  the trace and the prefetcher, for bit-reproducible runs. */
 inline PfRun
 runPrefetchNamed(const AppProfile &app, const std::string &pf_name,
                  uint64_t instr, const HierarchyConfig &hier = {},
-                 const DramConfig &dram = {})
+                 const DramConfig &dram = {}, uint64_t seed = 0)
 {
-    auto pf = makePrefetcher(pf_name, app.seed);
-    return runPrefetch(app, *pf, instr, hier, dram);
+    auto pf = makePrefetcher(pf_name, seed != 0 ? seed : app.seed);
+    return runPrefetch(app, *pf, instr, hier, dram, seed);
 }
 
 /** Print a horizontal rule sized to @p width. */

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-2 gate: build the default and asan-ubsan presets and run the
+# full test suite under both. Run from the repository root:
+#
+#     scripts/check.sh            # both presets
+#     scripts/check.sh default    # one preset only
+#
+# The asan-ubsan preset compiles everything with
+# -fsanitize=address,undefined, so the golden-snapshot and unit tests
+# double as a memory-error sweep. See EXPERIMENTS.md ("Metrics JSON
+# export & golden snapshots") for the golden regeneration workflow.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+    presets=(default asan-ubsan)
+fi
+
+for preset in "${presets[@]}"; do
+    echo "=== preset: ${preset} ==="
+    cmake --preset "${preset}"
+    cmake --build --preset "${preset}" -j "${jobs}"
+    ctest --preset "${preset}" -j "${jobs}"
+done
+
+echo "All presets green."

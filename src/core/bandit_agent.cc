@@ -29,6 +29,9 @@ BanditAgent::currentStepTarget() const
 void
 BanditAgent::finishStep(double r_step, uint64_t cycles)
 {
+    if (config_.recordHistory)
+        stepLog_.push_back({cycles, selectedArm_, r_step});
+
     policy_->observeReward(r_step);
 
     previousArm_ = selectedArm_;
@@ -95,6 +98,42 @@ BanditAgent::storageBytes() const
 {
     // 4-byte single-precision reward + 4-byte unsigned count per arm.
     return static_cast<uint64_t>(policy_->numArms()) * 8u;
+}
+
+void
+BanditAgent::exportStats(StatsRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.setCounter(prefix + ".steps", stepsCompleted_);
+    reg.setCounter(prefix + ".armSwitches",
+                   history_.empty() ? 0 : history_.size() - 1);
+    reg.setScalar(prefix + ".selectedArm",
+                  static_cast<double>(selectedArm_));
+    reg.setScalar(prefix + ".greedyArm",
+                  static_cast<double>(policy_->greedyArm()));
+    reg.setCounter(prefix + ".storageBytes", storageBytes());
+
+    const auto &r = policy_->armRewards();
+    const auto &n = policy_->armCounts();
+    for (size_t i = 0; i < r.size(); ++i) {
+        const std::string arm =
+            prefix + ".arm" + std::to_string(i);
+        reg.setScalar(arm + ".reward", r[i]);
+        reg.setScalar(arm + ".count", n[i]);
+    }
+
+    if (config_.recordHistory) {
+        TimeSeries &switches = reg.timeSeries(prefix + ".armHistory");
+        for (const auto &[cycle, arm] : history_) {
+            switches.add(static_cast<double>(cycle),
+                         static_cast<double>(arm));
+        }
+        TimeSeries &rewards =
+            reg.timeSeries(prefix + ".rewardHistory");
+        for (const auto &rec : stepLog_) {
+            rewards.add(static_cast<double>(rec.cycle), rec.reward);
+        }
+    }
 }
 
 } // namespace mab

@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/mab_policy.h"
+#include "sim/stats_registry.h"
 
 namespace mab {
 
@@ -114,6 +116,24 @@ class BanditAgent
         return history_;
     }
 
+    /** Per-step (cycle, arm, reward) log, if recording was enabled. */
+    struct StepRecord
+    {
+        uint64_t cycle;
+        ArmId arm;
+        double reward;
+    };
+    const std::vector<StepRecord> &stepLog() const { return stepLog_; }
+
+    /**
+     * Export the agent's telemetry under @p prefix ("bandit"): steps
+     * completed, the per-arm value estimates r_i / n_i of the wrapped
+     * policy (the DUCB tables), the greedy arm, and — when history
+     * recording is on — the arm-switch and per-step reward series.
+     */
+    void exportStats(StatsRegistry &reg,
+                     const std::string &prefix) const;
+
     MabPolicy &policy() { return *policy_; }
     const MabPolicy &policy() const { return *policy_; }
 
@@ -138,6 +158,7 @@ class BanditAgent
     uint64_t stepsCompleted_ = 0;
 
     std::vector<std::pair<uint64_t, ArmId>> history_;
+    std::vector<StepRecord> stepLog_;
 };
 
 } // namespace mab

@@ -48,6 +48,15 @@ BanditPrefetchController::reset()
 }
 
 void
+BanditPrefetchController::exportStats(StatsRegistry &reg,
+                                      const std::string &prefix) const
+{
+    agent_->exportStats(reg, prefix);
+    reg.setScalar(prefix + ".ensembleArm",
+                  static_cast<double>(ensemble_.currentArm()));
+}
+
+void
 BanditPrefetchController::onAccess(const PrefetchAccess &access,
                                    std::vector<uint64_t> &out)
 {

@@ -65,6 +65,14 @@ class BanditPrefetchController : public Prefetcher
     const BanditAgent &agent() const { return *agent_; }
     BanditEnsemblePrefetcher &ensemble() { return ensemble_; }
 
+    /**
+     * Export controller telemetry under @p prefix ("bandit"): the
+     * wrapped agent's step/arm/reward series and value estimates,
+     * plus the algorithm name and the arm in effect at the ensemble.
+     */
+    void exportStats(StatsRegistry &reg,
+                     const std::string &prefix) const;
+
   private:
     BanditEnsemblePrefetcher ensemble_;
     std::unique_ptr<BanditAgent> agent_;

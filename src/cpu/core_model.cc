@@ -99,6 +99,7 @@ CoreModel::stepOne()
     commitClock_ = std::max(commitClock_ + 1.0 / config_.commitWidth,
                             complete);
     robCommit_[slot] = commitClock_;
+    robResidencySum_ += commitClock_ - dispatch;
     ++instructions_;
 }
 
@@ -107,6 +108,21 @@ CoreModel::run(uint64_t instructions)
 {
     while (instructions_ < instructions)
         stepOne();
+}
+
+void
+CoreModel::exportStats(StatsRegistry &reg,
+                       const std::string &prefix) const
+{
+    reg.setCounter(prefix + ".instructions", instructions_);
+    reg.setCounter(prefix + ".cycles", cycles());
+    reg.setScalar(prefix + ".ipc", ipc());
+    reg.setScalar(prefix + ".robOccupancy", robOccupancy());
+    // MLP proxy: mean outstanding DRAM-bound demand misses observed
+    // at miss issue.
+    reg.setScalar(prefix + ".mlp",
+                  hierarchy_.mshrOccupancy().mean());
+    hierarchy_.exportStats(reg, prefix + ".mem", cycles());
 }
 
 } // namespace mab

@@ -87,6 +87,25 @@ class CoreModel
     CacheHierarchy &hierarchy() { return hierarchy_; }
     const CacheHierarchy &hierarchy() const { return hierarchy_; }
 
+    /**
+     * Mean ROB occupancy via Little's law: the summed commit-to-
+     * dispatch residency of every instruction divided by the elapsed
+     * cycles.
+     */
+    double robOccupancy() const
+    {
+        return commitClock_ <= 0.0 ? 0.0
+                                   : robResidencySum_ / commitClock_;
+    }
+
+    /**
+     * Export core metrics under @p prefix ("core"): instructions,
+     * cycles, IPC, ROB occupancy, the MSHR-parallelism MLP proxy, and
+     * the whole memory hierarchy under @p prefix.mem.
+     */
+    void exportStats(StatsRegistry &reg,
+                     const std::string &prefix) const;
+
   private:
     void issuePrefetches(const PrefetchAccess &access, bool at_l1);
 
@@ -99,6 +118,7 @@ class CoreModel
     uint64_t instructions_ = 0;
     double fetchClock_ = 0.0;
     double commitClock_ = 0.0;
+    double robResidencySum_ = 0.0;
     uint64_t frontendStallUntil_ = 0;
     uint64_t prevLoadDone_ = 0;
 

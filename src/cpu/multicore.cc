@@ -1,7 +1,9 @@
 #include "cpu/multicore.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
+#include <string>
 
 namespace mab {
 
@@ -63,6 +65,27 @@ MultiCoreSystem::run(uint64_t instrPerCore)
     for (double ipc : result.ipc)
         result.sumIpc += ipc;
     return result;
+}
+
+void
+MultiCoreSystem::exportStats(StatsRegistry &reg,
+                             const std::string &prefix) const
+{
+    uint64_t max_cycles = 0;
+    double sum_ipc = 0.0;
+    for (size_t i = 0; i < cores_.size(); ++i) {
+        if (!cores_[i])
+            continue;
+        cores_[i]->exportStats(reg,
+                               prefix + ".core" + std::to_string(i));
+        max_cycles = std::max(max_cycles, cores_[i]->cycles());
+        sum_ipc += cores_[i]->ipc();
+    }
+    reg.setScalar(prefix + ".sumIpc", sum_ipc);
+    reg.setCounter(prefix + ".cycles", max_cycles);
+    reg.setCounter(prefix + ".llc.demandHits", llc_->demandHits);
+    reg.setCounter(prefix + ".llc.demandMisses", llc_->demandMisses);
+    dram_->exportStats(reg, prefix + ".dram", max_cycles);
 }
 
 } // namespace mab

@@ -51,6 +51,15 @@ class MultiCoreSystem
 
     CoreModel &core(int index) { return *cores_[index]; }
     Dram &dram() { return *dram_; }
+    int numCores() const { return static_cast<int>(cores_.size()); }
+
+    /**
+     * Export the whole system under @p prefix: every attached core
+     * under @p prefix.core<i>, plus the shared LLC and DRAM channel
+     * (utilization computed against the slowest core's cycle count).
+     */
+    void exportStats(StatsRegistry &reg,
+                     const std::string &prefix = "system") const;
 
   private:
     CoreConfig coreConfig_;

@@ -36,10 +36,27 @@ Dram::schedule(uint64_t cycle, bool demand)
     }
     busFreeAt_ = static_cast<uint64_t>(allFreeAt_);
     ++transfers_;
+    demandTransfers_ += demand ? 1 : 0;
 
     const double queue_wait = start - now;
     return cycle + config_.baseLatencyCycles +
         static_cast<uint64_t>(queue_wait + cyclesPerLine_);
+}
+
+void
+Dram::exportStats(StatsRegistry &reg, const std::string &prefix,
+                  uint64_t cycles) const
+{
+    reg.setCounter(prefix + ".transfers", transfers_);
+    reg.setCounter(prefix + ".demandTransfers", demandTransfers_);
+    reg.setCounter(prefix + ".prefetchTransfers",
+                   transfers_ - demandTransfers_);
+    reg.setScalar(prefix + ".busBusyCycles", busBusyCycles());
+    reg.setScalar(prefix + ".cyclesPerLine", cyclesPerLine_);
+    if (cycles != 0) {
+        reg.setScalar(prefix + ".busUtilization",
+                      busBusyCycles() / static_cast<double>(cycles));
+    }
 }
 
 void
@@ -49,6 +66,7 @@ Dram::reset()
     allFreeAt_ = 0.0;
     busFreeAt_ = 0;
     transfers_ = 0;
+    demandTransfers_ = 0;
 }
 
 } // namespace mab

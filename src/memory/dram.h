@@ -2,6 +2,9 @@
 #define MAB_MEMORY_DRAM_H
 
 #include <cstdint>
+#include <string>
+
+#include "sim/stats_registry.h"
 
 namespace mab {
 
@@ -52,8 +55,25 @@ class Dram
     /** Total line transfers serviced. */
     uint64_t transfers() const { return transfers_; }
 
+    /** Demand (priority) line transfers serviced. */
+    uint64_t demandTransfers() const { return demandTransfers_; }
+
+    /** Core cycles the data bus spent moving lines. */
+    double busBusyCycles() const
+    {
+        return static_cast<double>(transfers_) * cyclesPerLine_;
+    }
+
     /** Cycle at which the bus frees up (for occupancy tests). */
     uint64_t busFreeCycle() const { return busFreeAt_; }
+
+    /**
+     * Export channel metrics under @p prefix ("dram"): transfer
+     * counts, busy cycles and, when @p cycles is nonzero, the bus
+     * utilization over that run length.
+     */
+    void exportStats(StatsRegistry &reg, const std::string &prefix,
+                     uint64_t cycles = 0) const;
 
     void reset();
 
@@ -66,6 +86,7 @@ class Dram
     double allFreeAt_ = 0.0;
     uint64_t busFreeAt_ = 0;
     uint64_t transfers_ = 0;
+    uint64_t demandTransfers_ = 0;
 };
 
 } // namespace mab

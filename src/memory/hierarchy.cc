@@ -66,6 +66,7 @@ CacheHierarchy::demandAccess(uint64_t addr, bool isStore, uint64_t cycle)
         res.level = HitLevel::L1;
         res.readyCycle = std::max(cycle + config_.l1.hitLatency,
                                   r1.readyCycle);
+        ++hitLevel_[static_cast<int>(HitLevel::L1)];
         return res;
     }
 
@@ -83,6 +84,7 @@ CacheHierarchy::demandAccess(uint64_t addr, bool isStore, uint64_t cycle)
         res.level = HitLevel::L2;
         res.readyCycle = std::max(l2_time, r2.readyCycle);
         l1_.fill(line, res.readyCycle, false);
+        ++hitLevel_[static_cast<int>(HitLevel::L2)];
         return res;
     }
 
@@ -93,13 +95,16 @@ CacheHierarchy::demandAccess(uint64_t addr, bool isStore, uint64_t cycle)
         res.readyCycle = std::max(llc_time, r3.readyCycle);
         countL2Eviction(l2_.fill(line, res.readyCycle, false));
         l1_.fill(line, res.readyCycle, false);
+        ++hitLevel_[static_cast<int>(HitLevel::Llc)];
         return res;
     }
 
     // Miss all the way to DRAM. If the MSHR file is full the request
     // waits for the earliest outstanding miss to retire.
     ++llcDemandMisses_;
+    ++hitLevel_[static_cast<int>(HitLevel::Dram)];
     demandMshr_.prune(cycle);
+    mshrOcc_.sample(demandMshr_.size());
     uint64_t issue_cycle = cycle;
     if (demandMshr_.full()) {
         issue_cycle = std::max(issue_cycle, demandMshr_.earliest());
@@ -170,6 +175,7 @@ CacheHierarchy::issuePrefetch(uint64_t addr, uint64_t cycle)
 
     prefetchQueue_.prune(cycle);
     demandMshr_.prune(cycle);
+    pfqOcc_.sample(prefetchQueue_.size());
     if (prefetchQueue_.full() || demandMshr_.full()) {
         ++pfStats_.dropped;
         return false;
@@ -183,6 +189,54 @@ CacheHierarchy::issuePrefetch(uint64_t addr, uint64_t cycle)
     countL2Eviction(l2_.fill(line, ready, true));
     ++pfStats_.issued;
     return true;
+}
+
+void
+CacheHierarchy::exportStats(StatsRegistry &reg,
+                            const std::string &prefix,
+                            uint64_t cycles) const
+{
+    const auto cacheStats = [&](const Cache &c,
+                                const std::string &name) {
+        reg.setCounter(prefix + "." + name + ".demandHits",
+                       c.demandHits);
+        reg.setCounter(prefix + "." + name + ".demandMisses",
+                       c.demandMisses);
+    };
+    // Private levels only: a shared LLC aggregates every core's
+    // traffic, so its cache-local counters are exported once by the
+    // owner (MultiCoreSystem), not per core.
+    cacheStats(l1_, "l1");
+    cacheStats(l2_, "l2");
+    if (ownedLlc_)
+        cacheStats(*llc_, "llc");
+
+    reg.setCounter(prefix + ".hits.l1", hitsAt(HitLevel::L1));
+    reg.setCounter(prefix + ".hits.l2", hitsAt(HitLevel::L2));
+    reg.setCounter(prefix + ".hits.llc", hitsAt(HitLevel::Llc));
+    reg.setCounter(prefix + ".hits.dram", hitsAt(HitLevel::Dram));
+    reg.setCounter(prefix + ".l2DemandAccesses", l2DemandAccesses_);
+    reg.setCounter(prefix + ".llcDemandMisses", llcDemandMisses_);
+
+    reg.setCounter(prefix + ".pf.issued", pfStats_.issued);
+    reg.setCounter(prefix + ".pf.timely", pfStats_.timely);
+    reg.setCounter(prefix + ".pf.late", pfStats_.late);
+    reg.setCounter(prefix + ".pf.wrong", pfStats_.wrong);
+    reg.setCounter(prefix + ".pf.dropped", pfStats_.dropped);
+
+    const auto occStats = [&](const OccupancyAccum &o,
+                              const std::string &name) {
+        reg.setCounter(prefix + "." + name + ".samples", o.samples);
+        reg.setScalar(prefix + "." + name + ".meanOccupancy",
+                      o.mean());
+        reg.setCounter(prefix + "." + name + ".peakOccupancy",
+                       o.peak);
+    };
+    occStats(mshrOcc_, "mshr");
+    occStats(pfqOcc_, "prefetchQueue");
+
+    if (ownsDram())
+        dram_->exportStats(reg, prefix + ".dram", cycles);
 }
 
 } // namespace mab

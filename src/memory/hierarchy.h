@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <memory>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "memory/cache.h"
 #include "memory/dram.h"
+#include "sim/stats_registry.h"
 
 namespace mab {
 
@@ -49,6 +51,34 @@ struct PrefetchStats
     uint64_t wrong = 0;
     /** Prefetches not issued because the queue/MSHRs were full. */
     uint64_t dropped = 0;
+};
+
+/**
+ * Cheap occupancy accumulator: mean and peak of a queue's size,
+ * sampled at the points where the queue is consulted.
+ */
+struct OccupancyAccum
+{
+    uint64_t samples = 0;
+    uint64_t sum = 0;
+    uint64_t peak = 0;
+
+    void
+    sample(size_t occupancy)
+    {
+        ++samples;
+        sum += occupancy;
+        if (occupancy > peak)
+            peak = occupancy;
+    }
+
+    double
+    mean() const
+    {
+        return samples == 0
+            ? 0.0
+            : static_cast<double>(sum) / static_cast<double>(samples);
+    }
 };
 
 /**
@@ -143,6 +173,34 @@ class CacheHierarchy
     /** Demand misses that had to go to DRAM. */
     uint64_t llcDemandMisses() const { return llcDemandMisses_; }
 
+    /** Demand accesses served at @p level. */
+    uint64_t hitsAt(HitLevel level) const
+    {
+        return hitLevel_[static_cast<int>(level)];
+    }
+
+    /** MSHR occupancy sampled at each DRAM-bound demand miss — a
+     *  memory-level-parallelism proxy. */
+    const OccupancyAccum &mshrOccupancy() const { return mshrOcc_; }
+
+    /** Prefetch-queue occupancy sampled at each DRAM-bound prefetch. */
+    const OccupancyAccum &prefetchQueueOccupancy() const
+    {
+        return pfqOcc_;
+    }
+
+    /** True when this hierarchy owns its LLC/DRAM (single-core). */
+    bool ownsDram() const { return ownedDram_ != nullptr; }
+
+    /**
+     * Export the memory-system metrics under @p prefix ("mem"): per-
+     * level hits/misses, the prefetch-outcome taxonomy, queue
+     * occupancies, and — when this hierarchy owns the channel — the
+     * DRAM counters at @p prefix.dram.
+     */
+    void exportStats(StatsRegistry &reg, const std::string &prefix,
+                     uint64_t cycles = 0) const;
+
   private:
     void countL2Eviction(const Cache::EvictInfo &info);
 
@@ -160,6 +218,9 @@ class CacheHierarchy
     PrefetchStats pfStats_;
     uint64_t l2DemandAccesses_ = 0;
     uint64_t llcDemandMisses_ = 0;
+    uint64_t hitLevel_[4] = {0, 0, 0, 0};
+    OccupancyAccum mshrOcc_;
+    OccupancyAccum pfqOcc_;
 };
 
 } // namespace mab

@@ -1,0 +1,558 @@
+#include "sim/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mab::json {
+
+Value
+Value::object()
+{
+    Value v;
+    v.type_ = Type::Object;
+    return v;
+}
+
+Value
+Value::array()
+{
+    Value v;
+    v.type_ = Type::Array;
+    return v;
+}
+
+double
+Value::asDouble() const
+{
+    switch (type_) {
+    case Type::Uint:
+        return static_cast<double>(uint_);
+    case Type::Int:
+        return static_cast<double>(int_);
+    case Type::Double:
+        return double_;
+    default:
+        return 0.0;
+    }
+}
+
+uint64_t
+Value::asUint() const
+{
+    switch (type_) {
+    case Type::Uint:
+        return uint_;
+    case Type::Int:
+        return int_ < 0 ? 0 : static_cast<uint64_t>(int_);
+    case Type::Double:
+        return double_ < 0 ? 0 : static_cast<uint64_t>(double_);
+    default:
+        return 0;
+    }
+}
+
+int64_t
+Value::asInt() const
+{
+    switch (type_) {
+    case Type::Uint:
+        return static_cast<int64_t>(uint_);
+    case Type::Int:
+        return int_;
+    case Type::Double:
+        return static_cast<int64_t>(double_);
+    default:
+        return 0;
+    }
+}
+
+Value &
+Value::operator[](const std::string &key)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    if (type_ != Type::Object)
+        throw std::runtime_error("json: operator[] on non-object");
+    for (auto &[k, v] : object_) {
+        if (k == key)
+            return v;
+    }
+    object_.emplace_back(key, Value());
+    return object_.back().second;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : object_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+void
+Value::push(Value v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    if (type_ != Type::Array)
+        throw std::runtime_error("json: push on non-array");
+    array_.push_back(std::move(v));
+}
+
+size_t
+Value::size() const
+{
+    switch (type_) {
+    case Type::Array:
+        return array_.size();
+    case Type::Object:
+        return object_.size();
+    default:
+        return 0;
+    }
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatDouble(double d)
+{
+    if (!std::isfinite(d))
+        return "null";
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+    std::string s(buf, res.ptr);
+    // Bare "to_chars shortest" may produce "3" for 3.0 — that is fine
+    // for JSON (the type is number either way) and keeps counters
+    // written through doubles readable.
+    return s;
+}
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    const auto newline = [&](int d) {
+        if (indent > 0) {
+            out += '\n';
+            out.append(static_cast<size_t>(indent) * d, ' ');
+        }
+    };
+
+    char buf[32];
+    switch (type_) {
+    case Type::Null:
+        out += "null";
+        break;
+    case Type::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+    case Type::Uint: {
+        const auto res = std::to_chars(buf, buf + sizeof(buf), uint_);
+        out.append(buf, res.ptr);
+        break;
+    }
+    case Type::Int: {
+        const auto res = std::to_chars(buf, buf + sizeof(buf), int_);
+        out.append(buf, res.ptr);
+        break;
+    }
+    case Type::Double:
+        out += formatDouble(double_);
+        break;
+    case Type::String:
+        out += '"';
+        out += escape(string_);
+        out += '"';
+        break;
+    case Type::Array:
+        if (array_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (size_t i = 0; i < array_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            array_[i].dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += ']';
+        break;
+    case Type::Object:
+        if (object_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (size_t i = 0; i < object_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            out += '"';
+            out += escape(object_[i].first);
+            out += indent > 0 ? "\": " : "\":";
+            object_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent reader over an in-memory buffer. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value
+    run()
+    {
+        skipWs();
+        Value v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("json parse error at byte " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek() const
+    {
+        if (pos_ >= text_.size())
+            throw std::runtime_error(
+                "json parse error: unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        size_t n = 0;
+        while (lit[n])
+            ++n;
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Value
+    parseValue()
+    {
+        switch (peek()) {
+        case '{':
+            return parseObject();
+        case '[':
+            return parseArray();
+        case '"':
+            return Value(parseString());
+        case 't':
+            if (!consumeLiteral("true"))
+                fail("bad literal");
+            return Value(true);
+        case 'f':
+            if (!consumeLiteral("false"))
+                fail("bad literal");
+            return Value(false);
+        case 'n':
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            return Value();
+        default:
+            return parseNumber();
+        }
+    }
+
+    Value
+    parseObject()
+    {
+        expect('{');
+        Value v = Value::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            skipWs();
+            v[key] = parseValue();
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Value
+    parseArray()
+    {
+        expect('[');
+        Value v = Value::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            v.push(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+            case '"':
+                out += '"';
+                break;
+            case '\\':
+                out += '\\';
+                break;
+            case '/':
+                out += '/';
+                break;
+            case 'b':
+                out += '\b';
+                break;
+            case 'f':
+                out += '\f';
+                break;
+            case 'n':
+                out += '\n';
+                break;
+            case 'r':
+                out += '\r';
+                break;
+            case 't':
+                out += '\t';
+                break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("short \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // The metrics files only ever escape control
+                // characters; encode the code point as UTF-8.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+            }
+            default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    Value
+    parseNumber()
+    {
+        const size_t start = pos_;
+        bool isDouble = false;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c >= '0' && c <= '9') {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                isDouble = true;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            fail("expected a value");
+        const char *first = text_.data() + start;
+        const char *last = text_.data() + pos_;
+        if (!isDouble) {
+            if (*first == '-') {
+                int64_t i = 0;
+                const auto r = std::from_chars(first, last, i);
+                if (r.ec == std::errc() && r.ptr == last)
+                    return Value(i);
+            } else {
+                uint64_t u = 0;
+                const auto r = std::from_chars(first, last, u);
+                if (r.ec == std::errc() && r.ptr == last)
+                    return Value(u);
+            }
+        }
+        double d = 0.0;
+        const auto r = std::from_chars(first, last, d);
+        if (r.ec != std::errc() || r.ptr != last)
+            fail("malformed number");
+        return Value(d);
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Value
+Value::parse(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+void
+flatten(const Value &v, const std::string &prefix,
+        std::map<std::string, Value> &out)
+{
+    switch (v.type()) {
+    case Value::Type::Object:
+        for (const auto &[k, m] : v.members()) {
+            flatten(m, prefix.empty() ? k : prefix + "." + k, out);
+        }
+        break;
+    case Value::Type::Array:
+        for (size_t i = 0; i < v.items().size(); ++i) {
+            flatten(v.items()[i],
+                    prefix + "[" + std::to_string(i) + "]", out);
+        }
+        break;
+    default:
+        out[prefix] = v;
+        break;
+    }
+}
+
+} // namespace mab::json

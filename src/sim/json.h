@@ -1,0 +1,137 @@
+#ifndef MAB_SIM_JSON_H
+#define MAB_SIM_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mab::json {
+
+/**
+ * Minimal, dependency-free JSON document model used by the metrics
+ * export path (StatsRegistry, bench --json) and by the golden-snapshot
+ * tests that read the exported files back.
+ *
+ * Design constraints, in order:
+ *  - deterministic output: objects preserve insertion order, numbers
+ *    are formatted with std::to_chars (shortest round-trip form,
+ *    locale-independent), so the same run always produces the same
+ *    bytes;
+ *  - machine-consumable by stock tools: the writer emits strict
+ *    RFC 8259 JSON (non-finite doubles become null);
+ *  - a small reader sufficient for the regression tests, not a
+ *    general-purpose validating parser.
+ */
+class Value
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Uint,   ///< unsigned 64-bit integer (counters)
+        Int,    ///< signed 64-bit integer
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    Value() = default;
+    Value(bool b) : type_(Type::Bool), bool_(b) {}
+    Value(uint64_t u) : type_(Type::Uint), uint_(u) {}
+    Value(int64_t i) : type_(Type::Int), int_(i) {}
+    Value(int i) : type_(Type::Int), int_(i) {}
+    Value(double d) : type_(Type::Double), double_(d) {}
+    Value(std::string s) : type_(Type::String), string_(std::move(s)) {}
+    Value(const char *s) : type_(Type::String), string_(s) {}
+
+    static Value object();
+    static Value array();
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isNumber() const
+    {
+        return type_ == Type::Uint || type_ == Type::Int ||
+            type_ == Type::Double;
+    }
+    bool isObject() const { return type_ == Type::Object; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isString() const { return type_ == Type::String; }
+
+    bool asBool() const { return bool_; }
+    /** Numeric value widened to double (any numeric type). */
+    double asDouble() const;
+    uint64_t asUint() const;
+    int64_t asInt() const;
+    const std::string &asString() const { return string_; }
+
+    /**
+     * Object member access; inserts a Null member when @p key is
+     * absent. Only valid on objects (or a default-constructed Null
+     * value, which becomes an object on first use).
+     */
+    Value &operator[](const std::string &key);
+
+    /** Read-only member lookup; returns nullptr when absent. */
+    const Value *find(const std::string &key) const;
+
+    /** Append to an array (a Null value becomes an array). */
+    void push(Value v);
+
+    const std::vector<Value> &items() const { return array_; }
+    const std::vector<std::pair<std::string, Value>> &
+    members() const
+    {
+        return object_;
+    }
+    size_t size() const;
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces
+     * per level; 0 emits the compact single-line form.
+     */
+    std::string dump(int indent = 2) const;
+
+    /**
+     * Parse @p text. Throws std::runtime_error with a byte offset and
+     * reason on malformed input.
+     */
+    static Value parse(const std::string &text);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    uint64_t uint_ = 0;
+    int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Value> array_;
+    std::vector<std::pair<std::string, Value>> object_;
+};
+
+/** JSON string escaping (quotes, backslash, control characters). */
+std::string escape(const std::string &s);
+
+/**
+ * Locale-independent shortest round-trip formatting of @p d
+ * ("1.25", "3", "1e300"); non-finite values format as "null".
+ */
+std::string formatDouble(double d);
+
+/**
+ * Flatten @p v into dotted leaf paths ("core.ipc", "series[3]"),
+ * mapping each non-container leaf to its Value. Used by the golden
+ * tests to produce readable per-metric diffs.
+ */
+void flatten(const Value &v, const std::string &prefix,
+             std::map<std::string, Value> &out);
+
+} // namespace mab::json
+
+#endif // MAB_SIM_JSON_H

@@ -23,8 +23,11 @@ gmean(const std::vector<double> &xs)
     if (xs.empty())
         return 0.0;
     double log_sum = 0.0;
-    for (double x : xs)
+    for (double x : xs) {
+        if (x <= 0.0)
+            return 0.0;
         log_sum += std::log(x);
+    }
     return std::exp(log_sum / static_cast<double>(xs.size()));
 }
 
@@ -52,6 +55,7 @@ percentile(std::vector<double> xs, double q)
     std::sort(xs.begin(), xs.end());
     if (xs.size() == 1)
         return xs.front();
+    q = std::clamp(q, 0.0, 100.0);
     const double rank = (q / 100.0) * static_cast<double>(xs.size() - 1);
     const size_t lo = static_cast<size_t>(rank);
     const size_t hi = std::min(lo + 1, xs.size() - 1);

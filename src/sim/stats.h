@@ -19,8 +19,9 @@ namespace mab {
 double mean(const std::vector<double> &xs);
 
 /**
- * Geometric mean; requires every element to be positive.
- * Returns 0 for an empty vector.
+ * Geometric mean. Returns 0 for an empty vector and for any input
+ * containing a non-positive element (for which the geometric mean is
+ * undefined), rather than propagating NaN/-inf into reports.
  */
 double gmean(const std::vector<double> &xs);
 
@@ -32,7 +33,7 @@ double maxOf(const std::vector<double> &xs);
 
 /**
  * Percentile via linear interpolation between closest ranks.
- * @param q percentile in [0, 100].
+ * @param q percentile; values outside [0, 100] are clamped.
  */
 double percentile(std::vector<double> xs, double q);
 

@@ -1,0 +1,193 @@
+#include "sim/stats_registry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mab {
+
+double
+Distribution::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(count_);
+    const double m = sum_ / n;
+    const double var = sumSq_ / n - m * m;
+    // Catastrophic cancellation can push a tiny variance below zero.
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+StatsRegistry::checkName(const std::string &name) const
+{
+    if (name.empty())
+        throw std::logic_error("stats: empty metric name");
+    if (name.front() == '.' || name.back() == '.' ||
+        name.find("..") != std::string::npos) {
+        throw std::logic_error("stats: malformed metric name '" +
+                               name + "'");
+    }
+
+    // Reject leaf/prefix conflicts in both directions: "a" then "a.b"
+    // and "a.b" then "a". Both would make the JSON nesting ambiguous.
+    auto it = entries_.lower_bound(name);
+    if (it != entries_.end() && it->first.compare(0, name.size() + 1,
+                                                  name + ".") == 0) {
+        throw std::logic_error("stats: '" + name +
+                               "' conflicts with existing metric '" +
+                               it->first + "'");
+    }
+    for (size_t dot = name.find('.'); dot != std::string::npos;
+         dot = name.find('.', dot + 1)) {
+        const std::string prefix = name.substr(0, dot);
+        if (entries_.count(prefix)) {
+            throw std::logic_error("stats: '" + name +
+                                   "' conflicts with existing metric '" +
+                                   prefix + "'");
+        }
+    }
+}
+
+StatsRegistry::Entry &
+StatsRegistry::findOrCreate(const std::string &name, Kind kind)
+{
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+        if (it->second.kind != kind) {
+            throw std::logic_error(
+                "stats: metric '" + name +
+                "' already registered with a different kind");
+        }
+        return it->second;
+    }
+    checkName(name);
+    Entry e;
+    e.kind = kind;
+    return entries_.emplace(name, std::move(e)).first->second;
+}
+
+Counter &
+StatsRegistry::counter(const std::string &name)
+{
+    Entry &e = findOrCreate(name, Kind::Counter);
+    if (!e.counter)
+        e.counter = std::make_unique<Counter>();
+    return *e.counter;
+}
+
+Scalar &
+StatsRegistry::scalar(const std::string &name)
+{
+    Entry &e = findOrCreate(name, Kind::Scalar);
+    if (!e.scalar)
+        e.scalar = std::make_unique<Scalar>();
+    return *e.scalar;
+}
+
+Distribution &
+StatsRegistry::distribution(const std::string &name)
+{
+    Entry &e = findOrCreate(name, Kind::Distribution);
+    if (!e.dist)
+        e.dist = std::make_unique<Distribution>();
+    return *e.dist;
+}
+
+TimeSeries &
+StatsRegistry::timeSeries(const std::string &name, size_t maxSamples)
+{
+    Entry &e = findOrCreate(name, Kind::TimeSeries);
+    if (!e.series)
+        e.series = std::make_unique<TimeSeries>(maxSamples);
+    return *e.series;
+}
+
+void
+StatsRegistry::setCounter(const std::string &name, uint64_t v)
+{
+    counter(name).set(v);
+}
+
+void
+StatsRegistry::setScalar(const std::string &name, double v)
+{
+    scalar(name).set(v);
+}
+
+bool
+StatsRegistry::contains(const std::string &name) const
+{
+    return entries_.count(name) != 0;
+}
+
+json::Value
+StatsRegistry::toJson() const
+{
+    json::Value root = json::Value::object();
+    for (const auto &[name, entry] : entries_) {
+        // Walk/create the nested objects along the dotted path.
+        json::Value *node = &root;
+        size_t start = 0;
+        for (size_t dot = name.find('.'); dot != std::string::npos;
+             dot = name.find('.', start)) {
+            node = &(*node)[name.substr(start, dot - start)];
+            start = dot + 1;
+        }
+        json::Value &leaf = (*node)[name.substr(start)];
+
+        switch (entry.kind) {
+        case Kind::Counter:
+            leaf = json::Value(entry.counter->value());
+            break;
+        case Kind::Scalar:
+            leaf = json::Value(entry.scalar->value());
+            break;
+        case Kind::Distribution: {
+            const Distribution &d = *entry.dist;
+            leaf = json::Value::object();
+            leaf["count"] = json::Value(d.count());
+            leaf["mean"] = json::Value(d.mean());
+            leaf["min"] = json::Value(d.min());
+            leaf["max"] = json::Value(d.max());
+            leaf["stddev"] = json::Value(d.stddev());
+            break;
+        }
+        case Kind::TimeSeries: {
+            const TimeSeries &ts = *entry.series;
+            leaf = json::Value::object();
+            json::Value t = json::Value::array();
+            json::Value v = json::Value::array();
+            for (const auto &[x, y] : ts.samples()) {
+                t.push(json::Value(x));
+                v.push(json::Value(y));
+            }
+            leaf["t"] = std::move(t);
+            leaf["v"] = std::move(v);
+            leaf["dropped"] = json::Value(ts.dropped());
+            break;
+        }
+        }
+    }
+    return root;
+}
+
+std::string
+StatsRegistry::toJsonString(int indent) const
+{
+    return toJson().dump(indent);
+}
+
+bool
+StatsRegistry::writeJsonFile(const std::string &path, int indent) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const std::string text = toJsonString(indent);
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace mab

@@ -1,0 +1,199 @@
+#ifndef MAB_SIM_STATS_REGISTRY_H
+#define MAB_SIM_STATS_REGISTRY_H
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/json.h"
+
+namespace mab {
+
+/**
+ * Unified metrics layer (the observability tentpole).
+ *
+ * Every simulator component exports its counters into one
+ * StatsRegistry under a dotted prefix ("core0.mem.pf.timely"), and
+ * the registry serializes the whole tree to deterministic JSON. Stat
+ * objects are owned by the registry and handed out as stable
+ * references, so hot paths pay one pointer-chased increment — no name
+ * lookups after registration.
+ *
+ * Naming contract:
+ *  - names are dotted paths; a name may not be both a leaf and a
+ *    prefix of another name ("a" vs "a.b" throws std::logic_error);
+ *  - registering the same name twice with the same kind returns the
+ *    existing object (components re-exporting is idempotent);
+ *  - registering the same name with a different kind throws
+ *    std::logic_error.
+ */
+
+/** Monotonic unsigned counter. Saturates at 2^64-1 instead of
+ *  wrapping, so an overflowed metric reads as "huge", never "tiny". */
+class Counter
+{
+  public:
+    void
+    inc(uint64_t n = 1)
+    {
+        const uint64_t next = value_ + n;
+        value_ = next < value_
+            ? std::numeric_limits<uint64_t>::max() : next;
+    }
+
+    void set(uint64_t v) { value_ = v; }
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** A point-in-time double metric (IPC, utilization, a config knob). */
+class Scalar
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Streaming moments of a sample set: count / mean / min / max /
+ * population stddev, O(1) memory, no samples retained.
+ */
+class Distribution
+{
+  public:
+    void
+    add(double x)
+    {
+        ++count_;
+        sum_ += x;
+        sumSq_ += x * x;
+        if (count_ == 1 || x < min_)
+            min_ = x;
+        if (count_ == 1 || x > max_)
+            max_ = x;
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const
+    {
+        return count_ == 0
+            ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+    double min() const { return count_ == 0 ? 0.0 : min_; }
+    double max() const { return count_ == 0 ? 0.0 : max_; }
+    double stddev() const;
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Bounded (t, v) sample log (arm switches, per-step rewards). Samples
+ * past the capacity are counted but not stored, so a runaway series
+ * cannot blow up memory; dropped counts are visible in the export.
+ */
+class TimeSeries
+{
+  public:
+    explicit TimeSeries(size_t maxSamples = kDefaultMax)
+        : maxSamples_(maxSamples)
+    {
+    }
+
+    void
+    add(double t, double v)
+    {
+        if (samples_.size() < maxSamples_)
+            samples_.emplace_back(t, v);
+        else
+            ++dropped_;
+    }
+
+    const std::vector<std::pair<double, double>> &
+    samples() const
+    {
+        return samples_;
+    }
+    uint64_t dropped() const { return dropped_; }
+
+    static constexpr size_t kDefaultMax = 65536;
+
+  private:
+    size_t maxSamples_;
+    std::vector<std::pair<double, double>> samples_;
+    uint64_t dropped_ = 0;
+};
+
+class StatsRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Scalar &scalar(const std::string &name);
+    Distribution &distribution(const std::string &name);
+    TimeSeries &timeSeries(const std::string &name,
+                           size_t maxSamples = TimeSeries::kDefaultMax);
+
+    /** counter(name).set(v) in one call (export-time convenience). */
+    void setCounter(const std::string &name, uint64_t v);
+    /** scalar(name).set(v) in one call. */
+    void setScalar(const std::string &name, double v);
+
+    bool contains(const std::string &name) const;
+    size_t size() const { return entries_.size(); }
+
+    /**
+     * Export the registry as a JSON tree: dotted names become nested
+     * objects, keys sorted lexicographically (std::map order), so the
+     * same metrics always serialize to the same bytes.
+     *
+     * Leaf encodings: Counter -> integer; Scalar -> number;
+     * Distribution -> {count, mean, min, max, stddev};
+     * TimeSeries -> {t: [...], v: [...], dropped}.
+     */
+    json::Value toJson() const;
+    std::string toJsonString(int indent = 2) const;
+
+    /** Write toJsonString() to @p path; false on I/O failure. */
+    bool writeJsonFile(const std::string &path, int indent = 2) const;
+
+  private:
+    enum class Kind
+    {
+        Counter,
+        Scalar,
+        Distribution,
+        TimeSeries,
+    };
+
+    struct Entry
+    {
+        Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Scalar> scalar;
+        std::unique_ptr<Distribution> dist;
+        std::unique_ptr<TimeSeries> series;
+    };
+
+    Entry &findOrCreate(const std::string &name, Kind kind);
+    void checkName(const std::string &name) const;
+
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace mab
+
+#endif // MAB_SIM_STATS_REGISTRY_H

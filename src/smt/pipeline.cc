@@ -313,6 +313,7 @@ SmtPipeline::fetchStage()
         const bool redirect =
             uop.kind == UopKind::Branch && uop.mispredicted;
         th.fetchQueue.push_back(uop);
+        ++th.fetched;
         if (redirect) {
             // Conservative frontend bubble until the branch resolves
             // (extended at dispatch once the resolve time is known).
@@ -339,6 +340,31 @@ SmtPipeline::run(uint64_t n)
 {
     for (uint64_t i = 0; i < n; ++i)
         cycle();
+}
+
+void
+SmtPipeline::exportStats(StatsRegistry &reg,
+                         const std::string &prefix) const
+{
+    reg.setCounter(prefix + ".cycles", now_);
+    reg.setScalar(prefix + ".ipcSum", ipcSum());
+
+    reg.setCounter(prefix + ".rename.stallRob", renameStats_.stallRob);
+    reg.setCounter(prefix + ".rename.stallIq", renameStats_.stallIq);
+    reg.setCounter(prefix + ".rename.stallLq", renameStats_.stallLq);
+    reg.setCounter(prefix + ".rename.stallSq", renameStats_.stallSq);
+    reg.setCounter(prefix + ".rename.stallRf", renameStats_.stallRf);
+    reg.setCounter(prefix + ".rename.stalled", renameStats_.stalled);
+    reg.setCounter(prefix + ".rename.idle", renameStats_.idle);
+    reg.setCounter(prefix + ".rename.running", renameStats_.running);
+
+    for (int t = 0; t < SmtConfig::kThreads; ++t) {
+        const std::string th =
+            prefix + ".thread" + std::to_string(t);
+        reg.setCounter(th + ".fetched", threads_[t].fetched);
+        reg.setCounter(th + ".committed", threads_[t].committed);
+        reg.setScalar(th + ".ipc", ipc(t));
+    }
 }
 
 } // namespace mab

@@ -4,8 +4,10 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
+#include "sim/stats_registry.h"
 #include "smt/fetch_policy.h"
 #include "smt/thread_source.h"
 
@@ -92,6 +94,7 @@ class SmtPipeline
 
     uint64_t cycles() const { return now_; }
     uint64_t committed(int t) const { return threads_[t].committed; }
+    uint64_t fetched(int t) const { return threads_[t].fetched; }
 
     double
     ipc(int t) const
@@ -117,6 +120,14 @@ class SmtPipeline
     /** True if thread @p t is currently fetch-gated. */
     bool isGated(int t) const;
 
+    /**
+     * Export pipeline metrics under @p prefix ("smt"): cycles, the
+     * rename-stall taxonomy (Figure 15), and per-thread fetch/commit
+     * counts and IPC under @p prefix.thread<i>.
+     */
+    void exportStats(StatsRegistry &reg,
+                     const std::string &prefix) const;
+
   private:
     static constexpr int kCalendarSize = 32768;
     static constexpr int kDepRing = 64;
@@ -135,6 +146,7 @@ class SmtPipeline
         std::array<uint64_t, kDepRing> completionRing{};
         uint64_t dispatchedCount = 0;
         uint64_t committed = 0;
+        uint64_t fetched = 0;
         uint64_t fetchBlockedUntil = 0;
 
         int iqUsed = 0;

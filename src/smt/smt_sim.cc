@@ -63,7 +63,7 @@ SmtSimulator::runLoop(SmtPipeline &pipe, HillClimbing &hc,
 }
 
 SmtRunResult
-SmtSimulator::runStatic(const PgPolicy &policy)
+SmtSimulator::runStatic(const PgPolicy &policy, StatsRegistry *stats)
 {
     src0_.reset();
     src1_.reset();
@@ -71,11 +71,17 @@ SmtSimulator::runStatic(const PgPolicy &policy)
     pipe.setPolicy(policy);
 
     HillClimbing hc({pipeConfig_.iqSize, config_.hcDelta});
-    return runLoop(pipe, hc, [](uint64_t, uint64_t) {});
+    SmtRunResult res = runLoop(pipe, hc, [](uint64_t, uint64_t) {});
+    if (stats) {
+        pipe.exportStats(*stats, "smt");
+        stats->setCounter("smt.policySwitches", 0);
+    }
+    return res;
 }
 
 SmtRunResult
-SmtSimulator::runBandit(const SmtBanditConfig &config)
+SmtSimulator::runBandit(const SmtBanditConfig &config,
+                        StatsRegistry *stats)
 {
     src0_.reset();
     src1_.reset();
@@ -84,15 +90,23 @@ SmtSimulator::runBandit(const SmtBanditConfig &config)
     BanditPgSelector selector(config);
     pipe.setPolicy(selector.currentPolicy());
 
+    uint64_t policy_switches = 0;
     HillClimbing hc({pipeConfig_.iqSize, config_.hcDelta});
     SmtRunResult res = runLoop(
         pipe, hc, [&](uint64_t instr, uint64_t cycles) {
-            if (selector.onEpochEnd(instr, cycles, hc))
+            if (selector.onEpochEnd(instr, cycles, hc)) {
                 pipe.setPolicy(selector.currentPolicy());
+                ++policy_switches;
+            }
         });
 
     for (const auto &[cycle, arm] : selector.agent().history())
         res.armHistory.emplace_back(cycle, arm);
+    if (stats) {
+        pipe.exportStats(*stats, "smt");
+        stats->setCounter("smt.policySwitches", policy_switches);
+        selector.agent().exportStats(*stats, "bandit");
+    }
     return res;
 }
 

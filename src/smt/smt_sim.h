@@ -69,11 +69,22 @@ class SmtSimulator
                  const SmtRunConfig &config = {},
                  const SmtConfig &pipe_config = {});
 
-    /** Run with a fixed fetch PG policy. */
-    SmtRunResult runStatic(const PgPolicy &policy);
+    /**
+     * Run with a fixed fetch PG policy. When @p stats is non-null the
+     * pipeline metrics are exported into it under "smt" before the
+     * pipeline is torn down.
+     */
+    SmtRunResult runStatic(const PgPolicy &policy,
+                           StatsRegistry *stats = nullptr);
 
-    /** Run with the Micro-Armed Bandit controlling the PG policy. */
-    SmtRunResult runBandit(const SmtBanditConfig &config = {});
+    /**
+     * Run with the Micro-Armed Bandit controlling the PG policy.
+     * When @p stats is non-null, exports the pipeline metrics under
+     * "smt" (including the PG-policy switch count) and the bandit
+     * agent's telemetry under "bandit".
+     */
+    SmtRunResult runBandit(const SmtBanditConfig &config = {},
+                           StatsRegistry *stats = nullptr);
 
   private:
     template <typename EpochHook>

@@ -98,6 +98,17 @@ recordCount(const std::string &path)
         return 0;
     uint64_t count = 0;
     std::memcpy(&count, header + 8, 8);
+
+    // A truncated body must not report a full count: the file has to
+    // hold exactly header + count fixed-size records.
+    if (std::fseek(f.get(), 0, SEEK_END) != 0)
+        return 0;
+    const long end = std::ftell(f.get());
+    if (end < 0 ||
+        static_cast<uint64_t>(end) !=
+            sizeof(header) + count * kRecordBytes) {
+        return 0;
+    }
     return count;
 }
 

@@ -22,13 +22,32 @@ scaledConfig()
     return cfg;
 }
 
+/**
+ * Run @p n instructions of @p app through a single core with @p pf.
+ * A nonzero @p seed overrides the profile's trace seed, so callers
+ * can pin determinism explicitly instead of relying on the suite
+ * defaults.
+ */
 double
-runPf(const AppProfile &app, Prefetcher &pf, uint64_t n)
+runPf(const AppProfile &app, Prefetcher &pf, uint64_t n,
+      uint64_t seed = 0)
 {
-    SyntheticTrace trace(app);
+    AppProfile prof = app;
+    if (seed != 0)
+        prof.seed = seed;
+    SyntheticTrace trace(prof);
     CoreModel core(CoreConfig{}, HierarchyConfig{}, trace, &pf);
     core.run(n);
     return core.ipc();
+}
+
+TEST(Integration, RunPfSeedIsReproducible)
+{
+    const AppProfile app = appByName("gcc06");
+    NullPrefetcher none;
+    const double a = runPf(app, none, 100'000, 77);
+    const double b = runPf(app, none, 100'000, 77);
+    EXPECT_DOUBLE_EQ(a, b);
 }
 
 TEST(Integration, BanditBeatsNoPrefetchOnStreams)

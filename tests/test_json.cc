@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "sim/json.h"
+
+namespace mab::json {
+namespace {
+
+TEST(JsonValue, ObjectPreservesInsertionOrder)
+{
+    Value v = Value::object();
+    v["zeta"] = 1;
+    v["alpha"] = 2;
+    v["mid"] = 3;
+    EXPECT_EQ(v.dump(0), R"({"zeta":1,"alpha":2,"mid":3})");
+}
+
+TEST(JsonValue, NullPromotesToObjectOrArray)
+{
+    Value obj;
+    obj["k"] = 1;
+    EXPECT_TRUE(obj.isObject());
+
+    Value arr;
+    arr.push(1);
+    arr.push("two");
+    EXPECT_TRUE(arr.isArray());
+    EXPECT_EQ(arr.size(), 2u);
+}
+
+TEST(JsonValue, StringEscaping)
+{
+    EXPECT_EQ(escape("plain"), "plain");
+    EXPECT_EQ(escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(escape("a\nb\tc"), "a\\nb\\tc");
+    // Control characters escape to \u00XX.
+    EXPECT_EQ(escape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(escape(std::string(1, '\x1f')), "\\u001f");
+
+    Value v = Value::object();
+    v["we\"ird\nkey"] = "va\\lue";
+    // Must round-trip through the parser unchanged.
+    Value back = Value::parse(v.dump(2));
+    const Value *s = back.find("we\"ird\nkey");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->asString(), "va\\lue");
+}
+
+TEST(JsonValue, DoubleFormattingIsShortestRoundTrip)
+{
+    EXPECT_EQ(formatDouble(1.25), "1.25");
+    EXPECT_EQ(formatDouble(0.1), "0.1");
+    EXPECT_EQ(formatDouble(-3.0), "-3");
+    // Non-finite values are not representable in JSON.
+    EXPECT_EQ(formatDouble(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(formatDouble(std::nan("")), "null");
+}
+
+TEST(JsonValue, DoubleFormattingIgnoresLocale)
+{
+    // A comma-decimal locale must not leak into the output. The C
+    // locale of this process is restored afterwards regardless.
+    char *old = std::setlocale(LC_NUMERIC, nullptr);
+    const std::string saved = old ? old : "C";
+    if (std::setlocale(LC_NUMERIC, "de_DE.UTF-8") == nullptr &&
+        std::setlocale(LC_NUMERIC, "de_DE") == nullptr) {
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    }
+    const std::string out = formatDouble(1.5);
+    std::setlocale(LC_NUMERIC, saved.c_str());
+    EXPECT_EQ(out, "1.5");
+}
+
+TEST(JsonValue, IntegersKeepFullPrecision)
+{
+    const uint64_t big = std::numeric_limits<uint64_t>::max();
+    Value v = Value::object();
+    v["c"] = big;
+    v["neg"] = static_cast<int64_t>(-42);
+    EXPECT_EQ(v.dump(0), R"({"c":18446744073709551615,"neg":-42})");
+
+    Value back = Value::parse(v.dump(0));
+    EXPECT_EQ(back.find("c")->asUint(), big);
+    EXPECT_EQ(back.find("neg")->asInt(), -42);
+}
+
+TEST(JsonValue, ParseRoundTrip)
+{
+    Value v = Value::object();
+    v["b"] = true;
+    v["n"] = Value();
+    v["s"] = "hi";
+    v["d"] = 2.5;
+    Value arr = Value::array();
+    arr.push(1);
+    arr.push(Value::object());
+    v["a"] = std::move(arr);
+
+    for (int indent : {0, 2, 4}) {
+        Value back = Value::parse(v.dump(indent));
+        EXPECT_EQ(back.dump(0), v.dump(0)) << "indent=" << indent;
+    }
+}
+
+TEST(JsonValue, ParseErrorsCarryByteOffset)
+{
+    EXPECT_THROW(Value::parse(""), std::runtime_error);
+    EXPECT_THROW(Value::parse("{"), std::runtime_error);
+    EXPECT_THROW(Value::parse("{\"a\":}"), std::runtime_error);
+    EXPECT_THROW(Value::parse("[1,]"), std::runtime_error);
+    EXPECT_THROW(Value::parse("tru"), std::runtime_error);
+    EXPECT_THROW(Value::parse("{} trailing"), std::runtime_error);
+    EXPECT_THROW(Value::parse("\"unterminated"), std::runtime_error);
+
+    try {
+        Value::parse("[1, x]");
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        // The message must locate the problem for the user.
+        EXPECT_NE(std::string(e.what()).find("byte"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(JsonValue, FlattenProducesDottedLeafPaths)
+{
+    Value v = Value::object();
+    v["core"] = Value::object();
+    v["core"]["ipc"] = 1.5;
+    v["core"]["mem"] = Value::object();
+    v["core"]["mem"]["hits"] = static_cast<uint64_t>(7);
+    Value arr = Value::array();
+    arr.push(10);
+    arr.push(20);
+    v["series"] = std::move(arr);
+
+    std::map<std::string, Value> flat;
+    flatten(v, "", flat);
+    ASSERT_EQ(flat.size(), 4u);
+    EXPECT_DOUBLE_EQ(flat.at("core.ipc").asDouble(), 1.5);
+    EXPECT_EQ(flat.at("core.mem.hits").asUint(), 7u);
+    EXPECT_EQ(flat.at("series[0]").asInt(), 10);
+    EXPECT_EQ(flat.at("series[1]").asInt(), 20);
+}
+
+} // namespace
+} // namespace mab::json

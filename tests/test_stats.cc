@@ -74,5 +74,42 @@ TEST(Stats, FmtPrecision)
     EXPECT_EQ(fmt(2.0, 1), "2.0");
 }
 
+TEST(Stats, PercentileClampsOutOfRangeQ)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    // q outside [0, 100] clamps to the endpoints instead of reading
+    // past the vector.
+    EXPECT_DOUBLE_EQ(percentile(xs, -10.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 150.0), 4.0);
+}
+
+TEST(Stats, PercentileEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Stats, GmeanRejectsNonPositiveInputs)
+{
+    // log() of a non-positive element is undefined; the contract is
+    // to return 0 rather than NaN/-inf.
+    EXPECT_DOUBLE_EQ(gmean({1.0, 0.0, 4.0}), 0.0);
+    EXPECT_DOUBLE_EQ(gmean({2.0, -3.0}), 0.0);
+    EXPECT_DOUBLE_EQ(gmean({}), 0.0);
+}
+
+TEST(Stats, StddevDegenerateSampleCounts)
+{
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({42.0}), 0.0);
+}
+
+TEST(Stats, SummarizeRatiosEmptyIsAllZero)
+{
+    const RatioSummary s = summarizeRatios({});
+    EXPECT_DOUBLE_EQ(s.min, 0.0);
+    EXPECT_DOUBLE_EQ(s.max, 0.0);
+    EXPECT_DOUBLE_EQ(s.gmean, 0.0);
+}
+
 } // namespace
 } // namespace mab

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "sim/json.h"
+#include "sim/stats_registry.h"
+
+namespace mab {
+namespace {
+
+TEST(Counter, SaturatesInsteadOfWrapping)
+{
+    Counter c;
+    c.set(std::numeric_limits<uint64_t>::max() - 1);
+    c.inc();
+    EXPECT_EQ(c.value(), std::numeric_limits<uint64_t>::max());
+    c.inc();        // would wrap to 0
+    EXPECT_EQ(c.value(), std::numeric_limits<uint64_t>::max());
+    c.inc(1000);    // bulk increment saturates too
+    EXPECT_EQ(c.value(), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(Distribution, MomentsAndDegenerateCases)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0); // no samples
+
+    d.add(4.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0); // one sample
+    EXPECT_DOUBLE_EQ(d.min(), 4.0);
+    EXPECT_DOUBLE_EQ(d.max(), 4.0);
+
+    d.add(8.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 6.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 2.0); // population stddev
+    EXPECT_DOUBLE_EQ(d.min(), 4.0);
+    EXPECT_DOUBLE_EQ(d.max(), 8.0);
+}
+
+TEST(TimeSeriesStat, DropsBeyondCapacity)
+{
+    TimeSeries ts(4);
+    for (int i = 0; i < 10; ++i)
+        ts.add(i, i * 2.0);
+    EXPECT_EQ(ts.samples().size(), 4u);
+    EXPECT_EQ(ts.dropped(), 6u);
+    EXPECT_DOUBLE_EQ(ts.samples()[3].second, 6.0);
+}
+
+TEST(StatsRegistryTest, DuplicateSameKindReturnsSameObject)
+{
+    StatsRegistry reg;
+    Counter &a = reg.counter("mem.hits");
+    a.inc(5);
+    Counter &b = reg.counter("mem.hits");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 5u);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(StatsRegistryTest, KindMismatchThrows)
+{
+    StatsRegistry reg;
+    reg.counter("x");
+    EXPECT_THROW(reg.scalar("x"), std::logic_error);
+    EXPECT_THROW(reg.distribution("x"), std::logic_error);
+    EXPECT_THROW(reg.timeSeries("x"), std::logic_error);
+}
+
+TEST(StatsRegistryTest, LeafPrefixConflictThrows)
+{
+    StatsRegistry reg;
+    reg.counter("core.ipc");
+    // "core.ipc" is a leaf; it cannot also be an object prefix.
+    EXPECT_THROW(reg.counter("core.ipc.sub"), std::logic_error);
+    // And the other direction: existing prefix cannot become a leaf.
+    EXPECT_THROW(reg.counter("core"), std::logic_error);
+}
+
+TEST(StatsRegistryTest, RejectsMalformedNames)
+{
+    StatsRegistry reg;
+    EXPECT_THROW(reg.counter(""), std::logic_error);
+    EXPECT_THROW(reg.counter(".leading"), std::logic_error);
+    EXPECT_THROW(reg.counter("trailing."), std::logic_error);
+    EXPECT_THROW(reg.counter("double..dot"), std::logic_error);
+}
+
+TEST(StatsRegistryTest, JsonTreeNestsDottedNamesSorted)
+{
+    StatsRegistry reg;
+    reg.setCounter("b.inner", 2);
+    reg.setCounter("a", 1);
+    reg.setScalar("b.ipc", 1.25);
+    // std::map ordering makes the export independent of
+    // registration order.
+    EXPECT_EQ(reg.toJsonString(0),
+              R"({"a":1,"b":{"inner":2,"ipc":1.25}})");
+}
+
+TEST(StatsRegistryTest, JsonEncodingsPerKind)
+{
+    StatsRegistry reg;
+    reg.counter("c").inc(3);
+    reg.scalar("s").set(0.5);
+    Distribution &d = reg.distribution("d");
+    d.add(1.0);
+    d.add(3.0);
+    TimeSeries &ts = reg.timeSeries("t", 2);
+    ts.add(0, 10);
+    ts.add(1, 20);
+    ts.add(2, 30); // dropped
+
+    json::Value v = json::Value::parse(reg.toJsonString(2));
+    EXPECT_EQ(v.find("c")->asUint(), 3u);
+    EXPECT_DOUBLE_EQ(v.find("s")->asDouble(), 0.5);
+    {
+        const json::Value *dd = v.find("d");
+        ASSERT_NE(dd, nullptr);
+        EXPECT_EQ(dd->find("count")->asUint(), 2u);
+        EXPECT_DOUBLE_EQ(dd->find("mean")->asDouble(), 2.0);
+        EXPECT_DOUBLE_EQ(dd->find("min")->asDouble(), 1.0);
+        EXPECT_DOUBLE_EQ(dd->find("max")->asDouble(), 3.0);
+        EXPECT_DOUBLE_EQ(dd->find("stddev")->asDouble(), 1.0);
+    }
+    const json::Value *tt = v.find("t");
+    ASSERT_NE(tt, nullptr);
+    EXPECT_EQ(tt->find("t")->size(), 2u);
+    EXPECT_EQ(tt->find("v")->size(), 2u);
+    EXPECT_EQ(tt->find("dropped")->asUint(), 1u);
+}
+
+TEST(StatsRegistryTest, WriteJsonFileRoundTrips)
+{
+    StatsRegistry reg;
+    reg.setCounter("run.instructions", 12345);
+    reg.setScalar("run.ipc", 1.75);
+
+    const std::string path =
+        testing::TempDir() + "/stats_registry_roundtrip.json";
+    ASSERT_TRUE(reg.writeJsonFile(path));
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string text;
+    char buf[1024];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    json::Value v = json::Value::parse(text);
+    EXPECT_EQ(v.find("run")->find("instructions")->asUint(), 12345u);
+    EXPECT_DOUBLE_EQ(v.find("run")->find("ipc")->asDouble(), 1.75);
+}
+
+TEST(StatsRegistryTest, WriteJsonFileFailsGracefully)
+{
+    StatsRegistry reg;
+    reg.setCounter("x", 1);
+    EXPECT_FALSE(reg.writeJsonFile("/nonexistent-dir/out.json"));
+}
+
+} // namespace
+} // namespace mab

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 
@@ -95,6 +97,51 @@ TEST_F(TraceIoTest, CorruptHeaderRejected)
     std::fputs("garbage-not-a-trace-header", f);
     std::fclose(f);
     EXPECT_THROW({ FileTrace t(path_); }, std::runtime_error);
+    EXPECT_EQ(trace_io::recordCount(path_), 0u);
+}
+
+TEST_F(TraceIoTest, TruncatedBodyRejected)
+{
+    SyntheticTrace original(appByName("gcc06"));
+    ASSERT_TRUE(trace_io::write(path_, original, 100));
+
+    // Chop the file mid-record: header + 10.5 records.
+    ASSERT_EQ(::truncate(path_.c_str(), 16 + 10 * 24 + 12), 0);
+
+    try {
+        FileTrace t(path_);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("truncated"),
+                  std::string::npos)
+            << e.what();
+    }
+    // recordCount must not trust the header of a truncated file.
+    EXPECT_EQ(trace_io::recordCount(path_), 0u);
+}
+
+TEST_F(TraceIoTest, UnsupportedVersionRejected)
+{
+    SyntheticTrace original(appByName("gcc06"));
+    ASSERT_TRUE(trace_io::write(path_, original, 10));
+
+    // Bump the version field (bytes 4..7) to an unknown value.
+    std::FILE *f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 4, SEEK_SET), 0);
+    const uint32_t bad_version = 999;
+    ASSERT_EQ(std::fwrite(&bad_version, 4, 1, f), 1u);
+    std::fclose(f);
+
+    EXPECT_THROW({ FileTrace t(path_); }, std::runtime_error);
+}
+
+TEST_F(TraceIoTest, EmptyTraceRejected)
+{
+    SyntheticTrace original(appByName("gcc06"));
+    ASSERT_TRUE(trace_io::write(path_, original, 0));
+    EXPECT_THROW({ FileTrace t(path_); }, std::runtime_error);
+    // A zero-record file is well-formed for recordCount, though.
     EXPECT_EQ(trace_io::recordCount(path_), 0u);
 }
 
