@@ -12,8 +12,9 @@ using namespace mab;
 using namespace mab::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TracingSession observability(argc, argv);
     const uint64_t instr = scaled(600'000);
     auto tune = tuneSetPrefetch();
     tune.resize(16); // subset keeps the sweep affordable

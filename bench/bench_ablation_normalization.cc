@@ -13,8 +13,9 @@ using namespace mab;
 using namespace mab::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TracingSession observability(argc, argv);
     const uint64_t instr = scaled(800'000);
     const auto tune = tuneSetPrefetch();
 

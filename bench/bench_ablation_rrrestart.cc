@@ -44,8 +44,9 @@ runFourCore(const AppProfile &app, double restart_prob, uint64_t instr)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    TracingSession observability(argc, argv);
     const uint64_t instr = scaled(400'000);
     const std::vector<std::string> apps = {
         "lbm06", "bwaves06", "fotonik17", "milc06", "roms17",

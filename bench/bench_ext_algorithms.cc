@@ -48,8 +48,9 @@ makeExt(const std::string &name, uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    TracingSession observability(argc, argv);
     const uint64_t instr = scaled(1'000'000);
     auto tune = tuneSetPrefetch();
     tune.resize(24); // every other-variant subset keeps this quick

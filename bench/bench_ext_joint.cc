@@ -49,8 +49,9 @@ runSplit(const AppProfile &app, uint64_t instr)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    TracingSession observability(argc, argv);
     const uint64_t instr = scaled(1'000'000);
     std::vector<double> joint, split;
 

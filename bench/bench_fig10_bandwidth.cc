@@ -16,8 +16,9 @@ using namespace mab;
 using namespace mab::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TracingSession observability(argc, argv);
     const uint64_t instr = scaled(1'200'000);
     const double mtps_list[] = {150, 600, 2400, 9600};
     const std::vector<std::string> pfs = {"Pythia", "Bandit"};

@@ -40,8 +40,9 @@ runCombo(const AppProfile &app, const Combo &combo, uint64_t instr)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    TracingSession observability(argc, argv);
     const uint64_t instr = scaled(800'000);
     const std::vector<Combo> combos = {
         {"Stride_Stride", "Stride", "Stride"},

@@ -62,8 +62,9 @@ runHomogeneous(const AppProfile &app, const std::string &pf_name,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    TracingSession observability(argc, argv);
     const uint64_t instr = scaled(600'000);
     const auto pf_names = comparisonPrefetchers();
 

@@ -41,8 +41,9 @@ struct Breakdown
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    TracingSession observability(argc, argv);
     SmtRunConfig run_cfg;
     run_cfg.maxCycles = scaled(600'000);
 

@@ -15,8 +15,9 @@ using namespace mab;
 using namespace mab::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TracingSession observability(argc, argv);
     const uint64_t instr = scaled(1'000'000);
 
     std::printf("Figure 2: top-2 Pythia action selection frequency "

@@ -16,8 +16,9 @@ using namespace mab;
 using namespace mab::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    TracingSession observability(argc, argv);
     SmtRunConfig run_cfg;
     run_cfg.maxCycles = scaled(350'000);
 

@@ -121,8 +121,9 @@ smtColumn(const std::string &a, const std::string &b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    TracingSession observability(argc, argv);
     std::printf("Figure 7: arm index explored over time "
                 "(24 samples per run)\n\n");
     prefetchColumn("cactusADM06");

@@ -17,6 +17,7 @@ using namespace mab::bench;
 int
 main(int argc, char **argv)
 {
+    TracingSession observability(argc, argv);
     const uint64_t instr = scaled(1'000'000);
     const auto pf_names = comparisonPrefetchers();
 

@@ -19,6 +19,7 @@ using namespace mab::bench;
 int
 main(int argc, char **argv)
 {
+    TracingSession observability(argc, argv);
     const uint64_t instr = scaled(1'000'000);
     std::vector<std::string> configs = comparisonPrefetchers();
     configs.push_back("BanditIdeal");

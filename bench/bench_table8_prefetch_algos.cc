@@ -20,6 +20,7 @@ using namespace mab::bench;
 int
 main(int argc, char **argv)
 {
+    TracingSession observability(argc, argv);
     const uint64_t instr = scaled(1'500'000);
     const auto tune = tuneSetPrefetch();
 

@@ -20,6 +20,7 @@ using namespace mab::bench;
 int
 main(int argc, char **argv)
 {
+    TracingSession observability(argc, argv);
     SmtRunConfig run_cfg;
     run_cfg.maxCycles = scaled(800'000);
 

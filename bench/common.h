@@ -32,6 +32,7 @@
 #include "prefetch/stride.h"
 #include "sim/json.h"
 #include "sim/stats.h"
+#include "sim/tracing.h"
 #include "trace/suites.h"
 
 namespace mab::bench {
@@ -55,6 +56,17 @@ scaled(uint64_t n)
     return static_cast<uint64_t>(static_cast<double>(n) * benchScale());
 }
 
+/** Value following @p flag on the command line, else nullptr. */
+inline const char *
+argValue(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    }
+    return nullptr;
+}
+
 /**
  * Structured-output destination: `--json <path>` on the command line,
  * else the MAB_BENCH_JSON environment variable, else none. Every
@@ -65,17 +77,168 @@ scaled(uint64_t n)
 inline const char *
 jsonOutPath(int argc, char **argv)
 {
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0)
-            return argv[i + 1];
-    }
+    if (const char *path = argValue(argc, argv, "--json"))
+        return path;
     return std::getenv("MAB_BENCH_JSON");
 }
 
 /**
+ * The Micro-Armed Bandit configuration the bench harness runs (the
+ * paper's Table 6 hyperparameters retuned to the scaled runs; see the
+ * comment in makePrefetcher()). Exposed so the run metadata block can
+ * report exactly what produced a result.
+ */
+inline BanditPrefetchConfig
+benchBanditConfig(uint64_t seed = 1)
+{
+    BanditPrefetchConfig cfg;
+    cfg.mab.seed = seed;
+    cfg.hw.stepUnits = 125;
+    cfg.mab.c = 0.2;
+    cfg.mab.gamma = 0.99;
+    return cfg;
+}
+
+/**
+ * Self-description block stamped into every `--json` report and trace
+ * file (ISSUE 2 satellite): tool version, command line, run scale,
+ * the bandit configuration and arm table, and the simulated machine.
+ * Makes snapshots and traces interpretable without the producing
+ * checkout.
+ */
+inline json::Value
+runMetaJson(int argc, char **argv)
+{
+    json::Value meta = json::Value::object();
+    meta["tool"] = "micro-armed-bandit-sim";
+    meta["version"] = tracing::kToolVersion;
+    json::Value cmd = json::Value::array();
+    for (int i = 0; i < argc; ++i)
+        cmd.push(argv[i]);
+    meta["cmdline"] = std::move(cmd);
+    meta["scale"] = benchScale();
+
+    const BanditPrefetchConfig bandit = benchBanditConfig();
+    json::Value b = json::Value::object();
+    b["algorithm"] = toString(bandit.algorithm);
+    b["numArms"] = bandit.mab.numArms;
+    b["epsilon"] = bandit.mab.epsilon;
+    b["c"] = bandit.mab.c;
+    b["gamma"] = bandit.mab.gamma;
+    b["normalizeRewards"] = bandit.mab.normalizeRewards;
+    b["rrRestartProb"] = bandit.mab.rrRestartProb;
+    b["seed"] = bandit.mab.seed;
+    b["stepUnits"] = bandit.hw.stepUnits;
+    b["stepUnitsRr"] = bandit.hw.stepUnitsRr;
+    b["selectionLatencyCycles"] = bandit.hw.selectionLatencyCycles;
+    meta["bandit"] = std::move(b);
+
+    json::Value arms = json::Value::array();
+    for (const PrefetchArm &arm : prefetchArmTable()) {
+        json::Value a = json::Value::object();
+        a["nextLine"] = arm.nextLineOn;
+        a["strideDegree"] = arm.strideDegree;
+        a["streamDegree"] = arm.streamDegree;
+        arms.push(std::move(a));
+    }
+    meta["armTable"] = std::move(arms);
+
+    const CoreConfig core;
+    const HierarchyConfig hier;
+    const DramConfig dram;
+    json::Value sim = json::Value::object();
+    sim["fetchWidth"] = core.fetchWidth;
+    sim["robSize"] = core.robSize;
+    sim["commitWidth"] = core.commitWidth;
+    sim["branchMissPenalty"] = core.branchMissPenalty;
+    sim["prefetchIssueLatency"] = core.prefetchIssueLatency;
+    sim["l1Bytes"] = hier.l1.sizeBytes;
+    sim["l2Bytes"] = hier.l2.sizeBytes;
+    sim["llcBytes"] = hier.llc.sizeBytes;
+    sim["mshrEntries"] = hier.mshrEntries;
+    sim["prefetchQueueMax"] = hier.prefetchQueueMax;
+    sim["dramMtps"] = dram.mtps;
+    sim["dramBaseLatencyCycles"] = dram.baseLatencyCycles;
+    meta["sim"] = std::move(sim);
+    return meta;
+}
+
+/**
+ * Observability session of one bench binary (the ISSUE 2 tentpole,
+ * bench side). Construct it first thing in main():
+ *
+ *     --trace <path> / MAB_TRACE=<path>   Chrome-trace timeline (open
+ *                                         in Perfetto or
+ *                                         chrome://tracing); also
+ *                                         enables the interval
+ *                                         sampler and phase profiler
+ *     --trace-granularity <cycles> /
+ *       MAB_TRACE_GRANULARITY=<cycles>    sampler period (default 10k)
+ *     --audit <path> / MAB_AUDIT=<path>   bandit decision audit log,
+ *                                         one JSON record per step
+ *     MAB_PROFILE=1                       phase profiler only (adds
+ *                                         the "profile" subtree to
+ *                                         --json reports)
+ *
+ * The destructor finalizes all sinks; aborted runs are covered by the
+ * tracer's atexit/signal flush hooks.
+ */
+class TracingSession
+{
+  public:
+    TracingSession(int argc, char **argv)
+    {
+        tracing::Tracer &tracer = tracing::Tracer::global();
+
+        const char *granularity =
+            argValue(argc, argv, "--trace-granularity");
+        if (!granularity)
+            granularity = std::getenv("MAB_TRACE_GRANULARITY");
+        if (granularity)
+            tracer.setGranularity(
+                std::strtoull(granularity, nullptr, 10));
+
+        const char *trace_path = argValue(argc, argv, "--trace");
+        if (!trace_path)
+            trace_path = std::getenv("MAB_TRACE");
+        if (trace_path) {
+            const json::Value meta = runMetaJson(argc, argv);
+            if (!tracer.openTrace(trace_path, &meta))
+                std::fprintf(stderr, "cannot open trace output: %s\n",
+                             trace_path);
+            else
+                std::printf("tracing to %s\n", trace_path);
+        }
+
+        const char *audit_path = argValue(argc, argv, "--audit");
+        if (!audit_path)
+            audit_path = std::getenv("MAB_AUDIT");
+        if (audit_path) {
+            if (!tracer.openAudit(audit_path))
+                std::fprintf(stderr, "cannot open audit output: %s\n",
+                             audit_path);
+            else
+                std::printf("bandit audit log to %s\n", audit_path);
+        }
+
+        if (const char *profile = std::getenv("MAB_PROFILE")) {
+            if (profile[0] != '\0' && profile[0] != '0')
+                tracer.enableProfile();
+        }
+    }
+
+    ~TracingSession() { tracing::Tracer::global().finalize(); }
+
+    TracingSession(const TracingSession &) = delete;
+    TracingSession &operator=(const TracingSession &) = delete;
+};
+
+/**
  * Write @p root to the destination selected by jsonOutPath(), if any.
- * Returns false (and reports on stderr) on I/O failure so binaries
- * can exit nonzero.
+ * A "meta" self-description block (runMetaJson) and — when the phase
+ * profiler ran — a "profile" wall-clock breakdown are added to the
+ * report unless the binary already set them. Returns false (and
+ * reports on stderr) on I/O failure so binaries can exit nonzero.
  */
 inline bool
 writeJsonReport(const json::Value &root, int argc, char **argv)
@@ -88,7 +251,13 @@ writeJsonReport(const json::Value &root, int argc, char **argv)
         std::fprintf(stderr, "cannot open json output: %s\n", path);
         return false;
     }
-    const std::string text = root.dump(2);
+    json::Value report = root;
+    if (!report.find("meta"))
+        report["meta"] = runMetaJson(argc, argv);
+    tracing::Tracer &tracer = tracing::Tracer::global();
+    if (tracer.profileOn() && !report.find("profile"))
+        report["profile"] = tracer.profileJson();
+    const std::string text = report.dump(2);
     const bool ok =
         std::fwrite(text.data(), 1, text.size(), f) == text.size();
     const bool closed = std::fclose(f) == 0;
@@ -135,17 +304,13 @@ makePrefetcher(const std::string &name, uint64_t seed = 1)
     }
     if (name == "Bandit" || name.rfind("Bandit:", 0) == 0 ||
         name == "BanditIdeal") {
-        BanditPrefetchConfig cfg;
-        cfg.mab.seed = seed;
         // The paper's hyperparameters (step = 1000 accesses,
         // c = 0.04, gamma = 0.999) were tuned for 1B-instruction
         // traces with tens of thousands of bandit steps. The scaled
         // runs take a few hundred steps, so the step shrinks
         // proportionally and (per the paper's own tune-set
         // procedure) c/gamma are retuned to the shorter horizon.
-        cfg.hw.stepUnits = 125;
-        cfg.mab.c = 0.2;
-        cfg.mab.gamma = 0.99;
+        BanditPrefetchConfig cfg = benchBanditConfig(seed);
         if (name == "BanditIdeal")
             cfg.hw.selectionLatencyCycles = 0;
         if (name.rfind("Bandit:", 0) == 0) {
@@ -197,6 +362,11 @@ runPrefetch(const AppProfile &app, Prefetcher &pf, uint64_t instr,
     SyntheticTrace trace(seeded);
     CoreModel core(CoreConfig{}, hier, trace, &pf, nullptr, dram);
 
+    // Scope this run on the trace timeline ("app/prefetcher"), so a
+    // whole bench sweep reads as back-to-back regions in Perfetto.
+    tracing::Tracer &tracer = tracing::Tracer::global();
+    tracer.beginRun(seeded.name + "/" + pf.name());
+
     // Give learning prefetchers that want it a DRAM utilization probe
     // (Pythia's bandwidth awareness).
     if (auto *pythia = dynamic_cast<PythiaPrefetcher *>(&pf)) {
@@ -211,6 +381,7 @@ runPrefetch(const AppProfile &app, Prefetcher &pf, uint64_t instr,
     }
 
     core.run(instr);
+    tracer.endRun(core.cycles());
     PfRun r;
     r.ipc = core.ipc();
     r.pf = core.hierarchy().prefetchStats();

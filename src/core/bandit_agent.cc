@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/tracing.h"
+
 namespace mab {
 
 BanditAgent::BanditAgent(std::unique_ptr<MabPolicy> policy,
@@ -32,10 +34,17 @@ BanditAgent::finishStep(double r_step, uint64_t cycles)
     if (config_.recordHistory)
         stepLog_.push_back({cycles, selectedArm_, r_step});
 
-    policy_->observeReward(r_step);
+    tracing::Tracer &tracer = tracing::Tracer::global();
+    const uint64_t step_start_cycle = cyclesAtStepStart_;
+    const bool was_rr = policy_->inRoundRobin();
 
-    previousArm_ = selectedArm_;
-    selectedArm_ = policy_->selectArm();
+    {
+        tracing::ScopedPhase phase(tracing::Phase::BanditUpdate);
+        policy_->observeReward(r_step);
+
+        previousArm_ = selectedArm_;
+        selectedArm_ = policy_->selectArm();
+    }
     armEffectiveCycle_ = cycles + config_.selectionLatencyCycles;
 
     unitsIntoStep_ = 0;
@@ -45,6 +54,28 @@ BanditAgent::finishStep(double r_step, uint64_t cycles)
 
     if (config_.recordHistory && selectedArm_ != previousArm_)
         history_.emplace_back(cycles, selectedArm_);
+
+    if (tracer.auditOn() || tracer.traceOn()) {
+        tracing::BanditStepRecord rec;
+        rec.agentKey = this;
+        rec.algorithm = policy_->name();
+        rec.step = stepsCompleted_;
+        rec.startCycle = step_start_cycle;
+        rec.endCycle = cycles;
+        rec.arm = previousArm_;
+        rec.reward = r_step;
+        rec.nextArm = selectedArm_;
+        rec.inRoundRobin = policy_->inRoundRobin();
+        // A restart re-enters round robin from the main loop; the
+        // initial round-robin phase does not count.
+        rec.restarted = !was_rr && policy_->inRoundRobin();
+        rec.nTotal = policy_->totalCount();
+        rec.gamma = policy_->config().gamma;
+        rec.armReward = policy_->armRewards();
+        rec.armCount = policy_->armCounts();
+        rec.armScore = policy_->selectionScores();
+        tracer.banditStep(rec);
+    }
 }
 
 bool

@@ -113,6 +113,18 @@ class MabPolicy
      */
     ArmId greedyArm() const;
 
+    /**
+     * Per-arm selection scores as the algorithm sees them — the value
+     * nextArm() maximizes. The base implementation returns the value
+     * estimates r_i (epsilon-Greedy, Thompson posterior means); UCB
+     * variants override it with r_i plus the exploration bonus. Used
+     * by the decision audit log (sim/tracing.h).
+     */
+    virtual std::vector<double> selectionScores() const { return r_; }
+
+    /** Configuration the policy was built with (introspection). */
+    const MabConfig &config() const { return config_; }
+
   protected:
     /** Table 3 nextArm(): choose the arm for the next main-loop step. */
     virtual ArmId nextArm() = 0;

@@ -16,6 +16,15 @@ Ucb::potential(ArmId arm) const
     return r_[arm] + config_.c * std::sqrt(log_total / n);
 }
 
+std::vector<double>
+Ucb::selectionScores() const
+{
+    std::vector<double> scores(config_.numArms);
+    for (ArmId i = 0; i < config_.numArms; ++i)
+        scores[i] = potential(i);
+    return scores;
+}
+
 ArmId
 Ucb::nextArm()
 {

@@ -24,6 +24,9 @@ class Ucb : public MabPolicy
     /** Potential of @p arm: average reward plus exploration bonus. */
     double potential(ArmId arm) const;
 
+    /** The UCB potentials — what nextArm() actually maximizes. */
+    std::vector<double> selectionScores() const override;
+
   protected:
     ArmId nextArm() override;
 };

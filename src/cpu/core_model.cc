@@ -1,6 +1,9 @@
 #include "cpu/core_model.h"
 
 #include <algorithm>
+#include <type_traits>
+
+#include "sim/tracing.h"
 
 namespace mab {
 
@@ -24,9 +27,13 @@ CoreModel::CoreModel(const CoreConfig &config,
 {
 }
 
+template <bool Profiled>
 void
-CoreModel::issuePrefetches(const PrefetchAccess &access, bool at_l1)
+CoreModel::issuePrefetchesT(const PrefetchAccess &access, bool at_l1)
 {
+    std::conditional_t<Profiled, tracing::ScopedPhase,
+                       tracing::NoopPhase>
+        phase(tracing::Phase::PrefetchIssue);
     Prefetcher *pf = at_l1 ? l1Prefetcher_ : l2Prefetcher_;
     pfScratch_.clear();
     pf->onAccess(access, pfScratch_);
@@ -40,9 +47,13 @@ CoreModel::issuePrefetches(const PrefetchAccess &access, bool at_l1)
     }
 }
 
+template <bool Profiled>
 void
-CoreModel::stepOne()
+CoreModel::stepOneT()
 {
+    std::conditional_t<Profiled, tracing::ScopedPhase,
+                       tracing::NoopPhase>
+        phase(tracing::Phase::CoreTick);
     const TraceRecord rec = trace_.next();
     const size_t slot = instructions_ %
         static_cast<size_t>(config_.robSize);
@@ -61,8 +72,8 @@ CoreModel::stepOne()
         if (rec.dependsOnPrevLoad)
             issue_cycle = std::max(issue_cycle, prevLoadDone_);
 
-        const auto res = hierarchy_.demandAccess(rec.addr, rec.isStore,
-                                                 issue_cycle);
+        const auto res = hierarchy_.demandAccessT<Profiled>(
+            rec.addr, rec.isStore, issue_cycle);
         if (rec.isLoad) {
             complete = std::max(complete,
                                 static_cast<double>(res.readyCycle));
@@ -77,7 +88,7 @@ CoreModel::stepOne()
             pa.hit = res.level == HitLevel::L2;
             pa.cycle = issue_cycle;
             pa.instrCount = instructions_;
-            issuePrefetches(pa, false);
+            issuePrefetchesT<Profiled>(pa, false);
         }
         if (l1Prefetcher_) {
             PrefetchAccess pa;
@@ -86,7 +97,7 @@ CoreModel::stepOne()
             pa.hit = res.level == HitLevel::L1;
             pa.cycle = issue_cycle;
             pa.instrCount = instructions_;
-            issuePrefetches(pa, true);
+            issuePrefetchesT<Profiled>(pa, true);
         }
     }
 
@@ -103,11 +114,88 @@ CoreModel::stepOne()
     ++instructions_;
 }
 
+// stepOne() in the header calls these from other translation units;
+// the definitions live in this file only.
+template void CoreModel::stepOneT<false>();
+template void CoreModel::stepOneT<true>();
+
 void
 CoreModel::run(uint64_t instructions)
 {
-    while (instructions_ < instructions)
+    tracing::Tracer &tracer = tracing::Tracer::global();
+    const uint64_t granularity = tracer.sampleGranularity();
+    if (granularity == 0) {
+        if (tracing::Tracer::profileActive()) {
+            while (instructions_ < instructions)
+                stepOneT<true>();
+        } else {
+            // The baseline loop: no sampling, no phase timers, no
+            // per-step dispatch branch anywhere down the call chain.
+            while (instructions_ < instructions)
+                stepOneT<false>();
+        }
+        return;
+    }
+
+    uint64_t next_sample = (cycles() / granularity + 1) * granularity;
+    while (instructions_ < instructions) {
         stepOne();
+        if (cycles() >= next_sample) {
+            sampleInterval();
+            next_sample =
+                (cycles() / granularity + 1) * granularity;
+        }
+    }
+    sampleInterval();
+}
+
+void
+CoreModel::sampleInterval()
+{
+    tracing::Tracer &tracer = tracing::Tracer::global();
+    const uint64_t now = cycles();
+    SampleSnapshot cur;
+    cur.instructions = instructions_;
+    cur.cycles = now;
+    cur.l2Accesses = hierarchy_.l2DemandAccesses();
+    cur.l2Hits = hierarchy_.hitsAt(HitLevel::L2);
+    cur.pfIssued = hierarchy_.prefetchStats().issued;
+    cur.pfUseful = hierarchy_.prefetchStats().timely +
+        hierarchy_.prefetchStats().late;
+    if (hierarchy_.ownsDram())
+        cur.dramBusyCycles = hierarchy_.dram().busBusyCycles();
+
+    const SampleSnapshot &last = lastSample_;
+    const uint64_t d_cycles =
+        cur.cycles > last.cycles ? cur.cycles - last.cycles : 0;
+    if (d_cycles == 0)
+        return;
+
+    tracer.counterSample(
+        "IPC", now,
+        static_cast<double>(cur.instructions - last.instructions) /
+            static_cast<double>(d_cycles));
+    const uint64_t d_l2 = cur.l2Accesses - last.l2Accesses;
+    if (d_l2 > 0) {
+        tracer.counterSample(
+            "l2HitRate", now,
+            static_cast<double>(cur.l2Hits - last.l2Hits) /
+                static_cast<double>(d_l2));
+    }
+    const uint64_t d_issued = cur.pfIssued - last.pfIssued;
+    if (d_issued > 0) {
+        tracer.counterSample(
+            "pfAccuracy", now,
+            static_cast<double>(cur.pfUseful - last.pfUseful) /
+                static_cast<double>(d_issued));
+    }
+    if (hierarchy_.ownsDram()) {
+        tracer.counterSample(
+            "dramBusUtil", now,
+            (cur.dramBusyCycles - last.dramBusyCycles) /
+                static_cast<double>(d_cycles));
+    }
+    lastSample_ = cur;
 }
 
 void

@@ -6,6 +6,7 @@
 
 #include "memory/hierarchy.h"
 #include "prefetch/prefetcher.h"
+#include "sim/tracing.h"
 #include "trace/generator.h"
 
 namespace mab {
@@ -62,8 +63,22 @@ class CoreModel
               Prefetcher *l2Prefetcher,
               Prefetcher *l1Prefetcher = nullptr);
 
-    /** Execute one instruction of the trace. */
-    void stepOne();
+    /**
+     * Execute one instruction of the trace. Inline dispatch so the
+     * tracing-off path costs one predicted branch over the plain
+     * simulator step — no extra call layer on the hottest loop.
+     * run() hoists even that branch out by instantiating
+     * stepOneT<false>/<true> directly.
+     */
+    void
+    stepOne()
+    {
+        if (tracing::Tracer::profileActive()) {
+            stepOneT<true>();
+            return;
+        }
+        stepOneT<false>();
+    }
 
     /** Run until @p instructions have been committed in total. */
     void run(uint64_t instructions);
@@ -107,7 +122,31 @@ class CoreModel
                      const std::string &prefix) const;
 
   private:
-    void issuePrefetches(const PrefetchAccess &access, bool at_l1);
+    /**
+     * One simulator step, templated on whether phase profiling is
+     * live. The false instantiation compiles to exactly the
+     * uninstrumented step (NoopPhase, demandAccessT<false>); defined
+     * in core_model.cc with explicit instantiations for both flavors.
+     */
+    template <bool Profiled> void stepOneT();
+    template <bool Profiled>
+    void issuePrefetchesT(const PrefetchAccess &access, bool at_l1);
+
+    /** Last interval-sampler snapshot (sim/tracing.h); deltas between
+     *  snapshots become the IPC / hit-rate / accuracy / DRAM-util
+     *  counter tracks. */
+    struct SampleSnapshot
+    {
+        uint64_t instructions = 0;
+        uint64_t cycles = 0;
+        uint64_t l2Accesses = 0;
+        uint64_t l2Hits = 0;
+        uint64_t pfIssued = 0;
+        uint64_t pfUseful = 0;
+        double dramBusyCycles = 0.0;
+    };
+
+    void sampleInterval();
 
     CoreConfig config_;
     CacheHierarchy hierarchy_;
@@ -126,6 +165,8 @@ class CoreModel
     std::vector<double> robCommit_;
 
     std::vector<uint64_t> pfScratch_;
+
+    SampleSnapshot lastSample_;
 };
 
 } // namespace mab

@@ -5,6 +5,8 @@
 #include <limits>
 #include <string>
 
+#include "sim/tracing.h"
+
 namespace mab {
 
 MultiCoreSystem::MultiCoreSystem(const CoreConfig &config,
@@ -40,6 +42,16 @@ MultiCoreSystem::run(uint64_t instrPerCore)
     std::vector<bool> recorded(n, false);
     int remaining = n;
 
+    // Interval sampler: per-core IPC and shared-bus utilization on
+    // the timeline of the slowest core (the shared-DRAM clock).
+    tracing::Tracer &tracer = tracing::Tracer::global();
+    const uint64_t granularity = tracer.sampleGranularity();
+    uint64_t next_sample = granularity;
+    std::vector<uint64_t> last_instr(n, 0);
+    std::vector<uint64_t> last_cycles(n, 0);
+    double last_busy = 0.0;
+    uint64_t last_clock = 0;
+
     while (remaining > 0) {
         // Advance the core whose commit clock is furthest behind so
         // that all cores see a consistent shared-DRAM timeline.
@@ -59,6 +71,31 @@ MultiCoreSystem::run(uint64_t instrPerCore)
             recorded[pick] = true;
             result.ipc[pick] = cores_[pick]->ipc();
             --remaining;
+        }
+
+        if (granularity != 0 && best >= next_sample) {
+            for (int i = 0; i < n; ++i) {
+                const uint64_t d_c =
+                    cores_[i]->cycles() - last_cycles[i];
+                if (d_c == 0)
+                    continue;
+                tracer.counterSample(
+                    "core" + std::to_string(i) + ".IPC", best,
+                    static_cast<double>(cores_[i]->instructions() -
+                                        last_instr[i]) /
+                        static_cast<double>(d_c));
+                last_instr[i] = cores_[i]->instructions();
+                last_cycles[i] = cores_[i]->cycles();
+            }
+            if (best > last_clock) {
+                tracer.counterSample(
+                    "dramBusUtil", best,
+                    (dram_->busBusyCycles() - last_busy) /
+                        static_cast<double>(best - last_clock));
+            }
+            last_busy = dram_->busBusyCycles();
+            last_clock = best;
+            next_sample = (best / granularity + 1) * granularity;
         }
     }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/tracing.h"
 #include "trace/record.h"
 
 namespace mab {
@@ -56,7 +57,16 @@ CacheHierarchy::countL2Eviction(const Cache::EvictInfo &info)
 }
 
 CacheHierarchy::AccessResult
-CacheHierarchy::demandAccess(uint64_t addr, bool isStore, uint64_t cycle)
+CacheHierarchy::demandAccessProfiled(uint64_t addr, bool isStore,
+                                     uint64_t cycle)
+{
+    tracing::ScopedPhase phase(tracing::Phase::CacheAccess);
+    return demandAccessImpl(addr, isStore, cycle);
+}
+
+CacheHierarchy::AccessResult
+CacheHierarchy::demandAccessImpl(uint64_t addr, bool isStore,
+                                 uint64_t cycle)
 {
     const uint64_t line = lineAddr(addr);
     AccessResult res;

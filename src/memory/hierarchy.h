@@ -10,6 +10,7 @@
 #include "memory/cache.h"
 #include "memory/dram.h"
 #include "sim/stats_registry.h"
+#include "sim/tracing.h"
 
 namespace mab {
 
@@ -143,9 +144,34 @@ class CacheHierarchy
         HitLevel level = HitLevel::L1;
     };
 
-    /** Demand load/store at @p cycle. */
-    AccessResult demandAccess(uint64_t addr, bool isStore,
-                              uint64_t cycle);
+    /**
+     * Demand load/store at @p cycle. Inline dispatch so the
+     * tracing-off path costs one predicted branch over the plain
+     * lookup — no extra call layer on the per-access path.
+     */
+    AccessResult
+    demandAccess(uint64_t addr, bool isStore, uint64_t cycle)
+    {
+        if (tracing::Tracer::profileActive())
+            return demandAccessProfiled(addr, isStore, cycle);
+        return demandAccessImpl(addr, isStore, cycle);
+    }
+
+    /**
+     * Compile-time-dispatched variant for callers (the core's run
+     * loop) that hoist the profiling decision out of their hot loop.
+     * The Profiled=false instantiation is the plain lookup — not even
+     * the predicted branch of demandAccess() remains.
+     */
+    template <bool Profiled>
+    AccessResult
+    demandAccessT(uint64_t addr, bool isStore, uint64_t cycle)
+    {
+        if constexpr (Profiled)
+            return demandAccessProfiled(addr, isStore, cycle);
+        else
+            return demandAccessImpl(addr, isStore, cycle);
+    }
 
     /**
      * Issue an L2 prefetch for @p addr. Returns false if it was
@@ -202,6 +228,10 @@ class CacheHierarchy
                      uint64_t cycles = 0) const;
 
   private:
+    AccessResult demandAccessProfiled(uint64_t addr, bool isStore,
+                                      uint64_t cycle);
+    AccessResult demandAccessImpl(uint64_t addr, bool isStore,
+                                  uint64_t cycle);
     void countL2Eviction(const Cache::EvictInfo &info);
 
     HierarchyConfig config_;

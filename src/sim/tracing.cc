@@ -1,0 +1,580 @@
+#include "sim/tracing.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+
+namespace mab::tracing {
+
+namespace {
+
+/**
+ * Open writers, for the crash/exit flush path. The simulators are
+ * single-threaded, so a plain vector suffices.
+ */
+std::vector<TraceWriter *> &
+openWriters()
+{
+    static std::vector<TraceWriter *> writers;
+    return writers;
+}
+
+/**
+ * Leave every open trace file as valid JSON. fwrite/fflush are not
+ * async-signal-safe in general; for a crashing simulator run a
+ * best-effort flush beats an unloadable trace.
+ */
+void
+panicFlushAll()
+{
+    for (TraceWriter *w : openWriters())
+        w->flush();
+    // Audit logs are line-buffered JSONL: flushing stdio makes them
+    // valid up to the last complete record.
+    std::fflush(nullptr);
+}
+
+void
+crashHandler(int sig)
+{
+    panicFlushAll();
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
+void
+installFlushHooksOnce()
+{
+    static bool installed = false;
+    if (installed)
+        return;
+    installed = true;
+    std::atexit(panicFlushAll);
+    std::signal(SIGABRT, crashHandler);
+    std::signal(SIGINT, crashHandler);
+    std::signal(SIGTERM, crashHandler);
+}
+
+void
+registerWriter(TraceWriter *w)
+{
+    installFlushHooksOnce();
+    openWriters().push_back(w);
+}
+
+void
+unregisterWriter(TraceWriter *w)
+{
+    auto &v = openWriters();
+    for (size_t i = 0; i < v.size(); ++i) {
+        if (v[i] == w) {
+            v.erase(v.begin() + static_cast<long>(i));
+            return;
+        }
+    }
+}
+
+} // namespace
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) {
+    case Phase::CoreTick:
+        return "coreTick";
+    case Phase::CacheAccess:
+        return "cacheAccess";
+    case Phase::PrefetchIssue:
+        return "prefetchIssue";
+    case Phase::BanditUpdate:
+        return "banditUpdate";
+    case Phase::SmtCycle:
+        return "smtCycle";
+    case Phase::kCount:
+        break;
+    }
+    return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// TraceWriter
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+bool
+TraceWriter::open(const std::string &path, const json::Value *meta)
+{
+    close();
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        return false;
+    path_ = path;
+    events_ = 0;
+    sinceFlush_ = 0;
+
+    std::string header = "{";
+    if (meta) {
+        header += "\"meta\":";
+        header += meta->dump(0);
+        header += ",";
+    }
+    header += "\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    if (std::fwrite(header.data(), 1, header.size(), file_) !=
+        header.size()) {
+        std::fclose(file_);
+        file_ = nullptr;
+        return false;
+    }
+    registerWriter(this);
+    flush(); // valid JSON from the first byte on disk
+    return true;
+}
+
+void
+TraceWriter::emit(const json::Value &event)
+{
+    if (!file_)
+        return;
+    std::string line = events_ == 0 ? "\n" : ",\n";
+    line += event.dump(0);
+    // One fwrite per event keeps the stdio buffer at an event
+    // boundary, so a crash flush always yields parseable JSON.
+    std::fwrite(line.data(), 1, line.size(), file_);
+    ++events_;
+    if (++sinceFlush_ >= kFlushEvery)
+        flush();
+}
+
+void
+TraceWriter::completeSpan(int pid, int tid, const std::string &name,
+                          uint64_t tsUs, uint64_t durUs,
+                          const json::Value *args)
+{
+    json::Value e = json::Value::object();
+    e["ph"] = "X";
+    e["pid"] = pid;
+    e["tid"] = tid;
+    e["name"] = name;
+    e["ts"] = tsUs;
+    e["dur"] = durUs;
+    if (args)
+        e["args"] = *args;
+    emit(e);
+}
+
+void
+TraceWriter::beginSpan(int pid, int tid, const std::string &name,
+                       uint64_t tsUs, const json::Value *args)
+{
+    json::Value e = json::Value::object();
+    e["ph"] = "B";
+    e["pid"] = pid;
+    e["tid"] = tid;
+    e["name"] = name;
+    e["ts"] = tsUs;
+    if (args)
+        e["args"] = *args;
+    emit(e);
+}
+
+void
+TraceWriter::endSpan(int pid, int tid, uint64_t tsUs)
+{
+    json::Value e = json::Value::object();
+    e["ph"] = "E";
+    e["pid"] = pid;
+    e["tid"] = tid;
+    e["ts"] = tsUs;
+    emit(e);
+}
+
+void
+TraceWriter::counter(int pid, const std::string &name, uint64_t tsUs,
+                     const std::string &series, double value)
+{
+    json::Value e = json::Value::object();
+    e["ph"] = "C";
+    e["pid"] = pid;
+    e["name"] = name;
+    e["ts"] = tsUs;
+    json::Value args = json::Value::object();
+    args[series] = value;
+    e["args"] = std::move(args);
+    emit(e);
+}
+
+void
+TraceWriter::instant(int pid, int tid, const std::string &name,
+                     uint64_t tsUs, const json::Value *args)
+{
+    json::Value e = json::Value::object();
+    e["ph"] = "i";
+    e["pid"] = pid;
+    e["tid"] = tid;
+    e["name"] = name;
+    e["ts"] = tsUs;
+    e["s"] = "t";
+    if (args)
+        e["args"] = *args;
+    emit(e);
+}
+
+void
+TraceWriter::processName(int pid, const std::string &name)
+{
+    json::Value e = json::Value::object();
+    e["ph"] = "M";
+    e["pid"] = pid;
+    e["name"] = "process_name";
+    json::Value args = json::Value::object();
+    args["name"] = name;
+    e["args"] = std::move(args);
+    emit(e);
+}
+
+void
+TraceWriter::threadName(int pid, int tid, const std::string &name)
+{
+    json::Value e = json::Value::object();
+    e["ph"] = "M";
+    e["pid"] = pid;
+    e["tid"] = tid;
+    e["name"] = "thread_name";
+    json::Value args = json::Value::object();
+    args["name"] = name;
+    e["args"] = std::move(args);
+    emit(e);
+}
+
+void
+TraceWriter::flush()
+{
+    if (!file_)
+        return;
+    const long pos = std::ftell(file_);
+    std::fputs("\n]}", file_);
+    std::fflush(file_);
+    if (pos >= 0)
+        std::fseek(file_, pos, SEEK_SET);
+    sinceFlush_ = 0;
+}
+
+void
+TraceWriter::close()
+{
+    if (!file_)
+        return;
+    std::fputs("\n]}", file_);
+    std::fclose(file_);
+    file_ = nullptr;
+    unregisterWriter(this);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+Tracer *Tracer::current_ = nullptr;
+
+namespace {
+Tracer &
+defaultTracer()
+{
+    static Tracer t;
+    return t;
+}
+} // namespace
+
+Tracer &
+Tracer::global()
+{
+    return current_ ? *current_ : defaultTracer();
+}
+
+void
+Tracer::setGlobal(Tracer *t)
+{
+    current_ = t;
+    refreshFastFlags();
+}
+
+Tracer::~Tracer()
+{
+    finalize();
+}
+
+uint64_t
+Tracer::nowNs() const
+{
+    if (clock_)
+        return clock_();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+Tracer::setClock(std::function<uint64_t()> nowNs)
+{
+    clock_ = std::move(nowNs);
+}
+
+bool
+Tracer::openTrace(const std::string &path, const json::Value *meta)
+{
+    if (!writer_.open(path, meta))
+        return false;
+    enabled_ = true;
+    samplingOn_ = true;
+    profile_ = true;
+    refreshFastFlags();
+    wallStartNs_ = nowNs();
+
+    writer_.processName(kPidCycles, "simulation (virtual cycles)");
+    writer_.processName(kPidWall, "profiler (wall clock)");
+    writer_.threadName(kPidCycles, kTidRuns, "runs");
+    for (int p = 0; p < static_cast<int>(Phase::kCount); ++p) {
+        writer_.threadName(kPidWall, p,
+                           phaseName(static_cast<Phase>(p)));
+    }
+    return true;
+}
+
+bool
+Tracer::openAudit(const std::string &path)
+{
+    if (audit_) {
+        std::fclose(audit_);
+        audit_ = nullptr;
+    }
+    audit_ = std::fopen(path.c_str(), "wb");
+    if (!audit_)
+        return false;
+    installFlushHooksOnce();
+    auditPath_ = path;
+    enabled_ = true;
+    return true;
+}
+
+void
+Tracer::enableProfile()
+{
+    profile_ = true;
+    enabled_ = true;
+    refreshFastFlags();
+    if (wallStartNs_ == 0)
+        wallStartNs_ = nowNs();
+}
+
+void
+Tracer::setGranularity(uint64_t cycles)
+{
+    if (cycles > 0)
+        granularity_ = cycles;
+}
+
+void
+Tracer::finalize()
+{
+    if (writer_.isOpen()) {
+        emitPhaseSpans();
+        writer_.close();
+    }
+    if (audit_) {
+        std::fclose(audit_);
+        audit_ = nullptr;
+    }
+    samplingOn_ = false;
+    enabled_ = profile_;
+    refreshFastFlags();
+}
+
+uint64_t
+Tracer::toTs(uint64_t cycle)
+{
+    const uint64_t ts = tsOffset_ + cycle;
+    if (ts > maxTs_)
+        maxTs_ = ts;
+    return ts;
+}
+
+void
+Tracer::beginRun(const std::string &label)
+{
+    if (!enabled_)
+        return;
+    tsOffset_ = maxTs_ == 0 ? 0 : maxTs_ + 1;
+    runStartTs_ = tsOffset_;
+    runLabel_ = label;
+    ++runIndex_;
+}
+
+void
+Tracer::endRun(uint64_t cycles)
+{
+    if (!enabled_)
+        return;
+    const uint64_t end = toTs(cycles);
+    if (writer_.isOpen()) {
+        writer_.completeSpan(kPidCycles, kTidRuns,
+                             runLabel_.empty() ? "run" : runLabel_,
+                             runStartTs_, end - runStartTs_);
+    }
+    runLabel_.clear();
+}
+
+void
+Tracer::counterSample(const std::string &track, uint64_t cycle,
+                      double value)
+{
+    if (!enabled_)
+        return;
+    const std::string key =
+        runLabel_.empty() ? track : runLabel_ + ":" + track;
+    auto it = samples_.find(key);
+    if (it == samples_.end())
+        it = samples_.emplace(key, TimeSeries()).first;
+    it->second.add(static_cast<double>(cycle), value);
+
+    if (writer_.isOpen()) {
+        writer_.counter(kPidCycles, key, toTs(cycle), track, value);
+        emitPhaseSpans();
+    }
+}
+
+int
+Tracer::agentTid(const BanditStepRecord &rec)
+{
+    auto it = agentTids_.find(rec.agentKey);
+    if (it != agentTids_.end())
+        return it->second;
+    const int tid =
+        kTidBanditBase + static_cast<int>(agentTids_.size());
+    agentTids_.emplace(rec.agentKey, tid);
+    if (writer_.isOpen()) {
+        writer_.threadName(kPidCycles, tid,
+                           "bandit " + rec.algorithm + "#" +
+                               std::to_string(tid - kTidBanditBase));
+    }
+    return tid;
+}
+
+void
+Tracer::banditStep(const BanditStepRecord &rec)
+{
+    const int tid = agentTid(rec);
+    const std::string label =
+        rec.algorithm + "#" + std::to_string(tid - kTidBanditBase);
+
+    if (audit_) {
+        json::Value line = json::Value::object();
+        line["agent"] = label;
+        line["algo"] = rec.algorithm;
+        line["step"] = rec.step;
+        line["startCycle"] = rec.startCycle;
+        line["cycle"] = rec.endCycle;
+        line["arm"] = rec.arm;
+        line["reward"] = rec.reward;
+        line["nextArm"] = rec.nextArm;
+        line["rr"] = rec.inRoundRobin;
+        line["restart"] = rec.restarted;
+        line["nTotal"] = rec.nTotal;
+        line["gamma"] = rec.gamma;
+        json::Value arms = json::Value::array();
+        for (size_t i = 0; i < rec.armReward.size(); ++i) {
+            json::Value a = json::Value::object();
+            a["r"] = rec.armReward[i];
+            a["n"] = i < rec.armCount.size() ? rec.armCount[i] : 0.0;
+            a["score"] =
+                i < rec.armScore.size() ? rec.armScore[i] : 0.0;
+            arms.push(std::move(a));
+        }
+        line["arms"] = std::move(arms);
+        const std::string text = line.dump(0) + "\n";
+        std::fwrite(text.data(), 1, text.size(), audit_);
+    }
+
+    if (writer_.isOpen()) {
+        const uint64_t start = toTs(rec.startCycle);
+        const uint64_t end = toTs(rec.endCycle);
+        json::Value args = json::Value::object();
+        args["reward"] = rec.reward;
+        args["nextArm"] = rec.nextArm;
+        writer_.completeSpan(kPidCycles, tid,
+                             "arm" + std::to_string(rec.arm), start,
+                             end > start ? end - start : 0, &args);
+        writer_.counter(kPidCycles, label + ":arm", end, "arm",
+                        static_cast<double>(rec.nextArm));
+        if (rec.restarted)
+            writer_.instant(kPidCycles, tid, "rr-restart", end);
+    }
+}
+
+void
+Tracer::addPhaseTime(Phase p, uint64_t ns)
+{
+    PhaseTotals &t = phases_[static_cast<size_t>(p)];
+    ++t.count;
+    t.totalNs += ns;
+}
+
+void
+Tracer::emitPhaseSpans()
+{
+    if (!writer_.isOpen())
+        return;
+    const uint64_t now = nowNs();
+    const uint64_t nowUs =
+        now > wallStartNs_ ? (now - wallStartNs_) / 1000 : 0;
+    for (size_t p = 0; p < phases_.size(); ++p) {
+        const uint64_t delta =
+            phases_[p].totalNs - phaseEmittedNs_[p];
+        const uint64_t durUs = delta / 1000;
+        if (durUs == 0)
+            continue;
+        phaseEmittedNs_[p] += durUs * 1000;
+        const uint64_t ts = nowUs > durUs ? nowUs - durUs : 0;
+        writer_.completeSpan(kPidWall, static_cast<int>(p),
+                             phaseName(static_cast<Phase>(p)), ts,
+                             durUs);
+    }
+}
+
+void
+Tracer::exportProfile(StatsRegistry &reg,
+                      const std::string &prefix) const
+{
+    for (size_t p = 0; p < phases_.size(); ++p) {
+        const std::string base =
+            prefix + "." + phaseName(static_cast<Phase>(p));
+        reg.setCounter(base + ".count", phases_[p].count);
+        reg.setCounter(base + ".totalNs", phases_[p].totalNs);
+        reg.setScalar(base + ".meanNs",
+                      phases_[p].count == 0
+                          ? 0.0
+                          : static_cast<double>(phases_[p].totalNs) /
+                              static_cast<double>(phases_[p].count));
+    }
+}
+
+json::Value
+Tracer::profileJson() const
+{
+    json::Value root = json::Value::object();
+    for (size_t p = 0; p < phases_.size(); ++p) {
+        json::Value ph = json::Value::object();
+        ph["count"] = phases_[p].count;
+        ph["totalNs"] = phases_[p].totalNs;
+        ph["meanNs"] = phases_[p].count == 0
+            ? 0.0
+            : static_cast<double>(phases_[p].totalNs) /
+                static_cast<double>(phases_[p].count);
+        root[phaseName(static_cast<Phase>(p))] = std::move(ph);
+    }
+    return root;
+}
+
+} // namespace mab::tracing

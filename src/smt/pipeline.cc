@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/tracing.h"
+
 namespace mab {
 
 SmtPipeline::SmtPipeline(
@@ -327,6 +329,19 @@ SmtPipeline::fetchStage()
 
 void
 SmtPipeline::cycle()
+{
+    // Branch outside the RAII scope: when profiling is off the hot
+    // path must carry no ScopedPhase cleanup at all.
+    if (tracing::Tracer::profileActive()) {
+        tracing::ScopedPhase phase(tracing::Phase::SmtCycle);
+        cycleImpl();
+        return;
+    }
+    cycleImpl();
+}
+
+void
+SmtPipeline::cycleImpl()
 {
     processEvents();
     commitStage();

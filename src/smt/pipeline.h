@@ -132,6 +132,8 @@ class SmtPipeline
     static constexpr int kCalendarSize = 32768;
     static constexpr int kDepRing = 64;
 
+    void cycleImpl();
+
     struct RobEntry
     {
         uint64_t completeCycle = 0;

@@ -1,5 +1,7 @@
 #include "smt/smt_sim.h"
 
+#include "sim/tracing.h"
+
 namespace mab {
 
 SmtSimulator::SmtSimulator(std::string app0, std::string app1,
@@ -7,7 +9,8 @@ SmtSimulator::SmtSimulator(std::string app0, std::string app1,
                            const SmtConfig &pipe_config)
     : config_(config), pipeConfig_(pipe_config),
       src0_(smtAppByName(app0), config.seed * 0x9E37u + 1),
-      src1_(smtAppByName(app1), config.seed * 0x9E37u + 2)
+      src1_(smtAppByName(app1), config.seed * 0x9E37u + 2),
+      label_(app0 + "+" + app1)
 {
 }
 
@@ -20,10 +23,43 @@ SmtSimulator::runLoop(SmtPipeline &pipe, HillClimbing &hc,
     std::array<bool, 2> recorded{false, false};
     uint64_t epoch_start_instr = 0;
 
+    tracing::Tracer &tracer = tracing::Tracer::global();
+    tracer.beginRun(label_);
+    const uint64_t granularity = tracer.sampleGranularity();
+    uint64_t next_sample = granularity;
+    std::array<uint64_t, 2> last_fetched{0, 0};
+    std::array<uint64_t, 2> last_committed{0, 0};
+    uint64_t last_sample_cycle = 0;
+
     pipe.setShares({hc.share(0), hc.share(1)});
 
     for (uint64_t c = 1; c <= config_.maxCycles; ++c) {
         pipe.cycle();
+
+        if (granularity != 0 && c >= next_sample) {
+            const uint64_t d_c = c - last_sample_cycle;
+            uint64_t d_fetch[2];
+            for (int t = 0; t < 2; ++t)
+                d_fetch[t] = pipe.fetched(t) - last_fetched[t];
+            const uint64_t d_total = d_fetch[0] + d_fetch[1];
+            for (int t = 0; t < 2; ++t) {
+                if (d_total > 0) {
+                    tracer.counterSample(
+                        "fetchShare.t" + std::to_string(t), c,
+                        static_cast<double>(d_fetch[t]) /
+                            static_cast<double>(d_total));
+                }
+                tracer.counterSample(
+                    "IPC.t" + std::to_string(t), c,
+                    static_cast<double>(pipe.committed(t) -
+                                        last_committed[t]) /
+                        static_cast<double>(d_c));
+                last_fetched[t] = pipe.fetched(t);
+                last_committed[t] = pipe.committed(t);
+            }
+            last_sample_cycle = c;
+            next_sample = (c / granularity + 1) * granularity;
+        }
 
         if (config_.instrPerThread != 0) {
             bool all = true;
@@ -59,6 +95,7 @@ SmtSimulator::runLoop(SmtPipeline &pipe, HillClimbing &hc,
     res.ipcSum = res.ipc[0] + res.ipc[1];
     res.cycles = pipe.cycles();
     res.rename = pipe.renameStats();
+    tracer.endRun(res.cycles);
     return res;
 }
 

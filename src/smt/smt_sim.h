@@ -95,6 +95,9 @@ class SmtSimulator
     SmtConfig pipeConfig_;
     ThreadSource src0_;
     ThreadSource src1_;
+
+    /** "app0+app1", labels this mix's runs on the trace timeline. */
+    std::string label_;
 };
 
 } // namespace mab
