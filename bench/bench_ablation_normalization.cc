@@ -16,8 +16,32 @@ int
 main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
+    const int jobs = benchJobs(argc, argv);
     const uint64_t instr = scaled(800'000);
     const auto tune = tuneSetPrefetch();
+
+    // Each task returns the run IPC plus the arm-switch count read
+    // from the controller it owned.
+    struct Point
+    {
+        double ipc = 0.0;
+        double switches = 0.0;
+    };
+    const std::vector<Point> runs = sweepMap<Point>(
+        jobs, 2 * tune.size(), [&](size_t i) {
+            BanditPrefetchConfig cfg;
+            cfg.hw.stepUnits = 125; // scaled (DESIGN.md 4b)
+            cfg.mab.c = 0.2;
+            cfg.mab.gamma = 0.99;
+            cfg.mab.normalizeRewards = i < tune.size();
+            cfg.hw.recordHistory = true;
+            BanditPrefetchController pf(cfg);
+            Point p;
+            p.ipc = runPrefetch(tune[i % tune.size()], pf, instr).ipc;
+            p.switches =
+                static_cast<double>(pf.agent().history().size());
+            return p;
+        });
 
     std::printf("Ablation: DUCB reward normalization "
                 "(%zu tune traces)\n", tune.size());
@@ -26,27 +50,19 @@ main(int argc, char **argv)
     rule(56);
 
     for (bool normalize : {true, false}) {
+        const size_t off = normalize ? 0 : tune.size();
         std::vector<double> ipcs;
         double switches_low = 0.0, switches_high = 0.0;
         int n_low = 0, n_high = 0;
-        for (const auto &app : tune) {
-            BanditPrefetchConfig cfg;
-            cfg.hw.stepUnits = 125; // scaled (DESIGN.md 4b)
-            cfg.mab.c = 0.2;
-            cfg.mab.gamma = 0.99;
-            cfg.mab.normalizeRewards = normalize;
-            cfg.hw.recordHistory = true;
-            BanditPrefetchController pf(cfg);
-            const PfRun r = runPrefetch(app, pf, instr);
-            ipcs.push_back(r.ipc);
-            const double sw =
-                static_cast<double>(pf.agent().history().size());
+        for (size_t a = 0; a < tune.size(); ++a) {
+            const Point &p = runs[off + a];
+            ipcs.push_back(p.ipc);
             // Split by IPC to expose the exploration imbalance.
-            if (r.ipc < 1.0) {
-                switches_low += sw;
+            if (p.ipc < 1.0) {
+                switches_low += p.switches;
                 ++n_low;
             } else {
-                switches_high += sw;
+                switches_high += p.switches;
                 ++n_high;
             }
         }

@@ -47,11 +47,19 @@ int
 main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
+    const int jobs = benchJobs(argc, argv);
     const uint64_t instr = scaled(400'000);
     const std::vector<std::string> apps = {
         "lbm06", "bwaves06", "fotonik17", "milc06", "roms17",
         "ligra_pagerank", "parsec_streamcluster", "cactusADM06",
     };
+
+    // Tasks: (app x {restart off, restart on}), interleaved per app.
+    const std::vector<double> sums = sweepMap<double>(
+        jobs, 2 * apps.size(), [&](size_t i) {
+            return runFourCore(appByName(apps[i / 2]),
+                               i % 2 == 0 ? 0.0 : 0.01, instr);
+        });
 
     std::printf("Ablation: rr_restart_prob in 4-core homogeneous "
                 "mixes (IPC sum)\n");
@@ -59,13 +67,12 @@ main(int argc, char **argv)
                 "delta");
     rule(56);
     std::vector<double> off, on;
-    for (const auto &name : apps) {
-        const AppProfile app = appByName(name);
-        const double a = runFourCore(app, 0.0, instr);
-        const double b = runFourCore(app, 0.01, instr);
+    for (size_t i = 0; i < apps.size(); ++i) {
+        const double a = sums[2 * i];
+        const double b = sums[2 * i + 1];
         off.push_back(a);
         on.push_back(b);
-        std::printf("%-22s %10s %10s %+9.1f%%\n", name.c_str(),
+        std::printf("%-22s %10s %10s %+9.1f%%\n", apps[i].c_str(),
                     fmt(a, 3).c_str(), fmt(b, 3).c_str(),
                     100.0 * (b / a - 1.0));
     }

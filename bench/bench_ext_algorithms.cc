@@ -51,6 +51,7 @@ int
 main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
+    const int jobs = benchJobs(argc, argv);
     const uint64_t instr = scaled(1'000'000);
     auto tune = tuneSetPrefetch();
     tune.resize(24); // every other-variant subset keeps this quick
@@ -59,14 +60,23 @@ main(int argc, char **argv)
         "DUCB", "SW-UCB", "Thompson", "Hierarchical", "Classifier",
     };
 
+    const size_t per_app = 1 + algos.size();
+    const std::vector<double> ipcs = sweepMap<double>(
+        jobs, tune.size() * per_app, [&](size_t i) {
+            const AppProfile &app = tune[i / per_app];
+            const size_t c = i % per_app;
+            if (c == 0)
+                return runPrefetchNamed(app, "None", instr).ipc;
+            auto pf = makeExt(algos[c - 1], app.seed);
+            return runPrefetch(app, *pf, instr).ipc;
+        });
+
     std::map<std::string, std::vector<double>> speedups;
-    for (const auto &app : tune) {
-        const PfRun base = runPrefetchNamed(app, "None", instr);
-        for (const auto &name : algos) {
-            auto pf = makeExt(name, app.seed);
-            const PfRun r = runPrefetch(app, *pf, instr);
-            speedups[name].push_back(r.ipc / base.ipc);
-        }
+    for (size_t a = 0; a < tune.size(); ++a) {
+        const double base = ipcs[a * per_app];
+        for (size_t c = 0; c < algos.size(); ++c)
+            speedups[algos[c]].push_back(ipcs[a * per_app + 1 + c] /
+                                         base);
     }
 
     std::printf("Extension study: bandit algorithm variants, geomean "

@@ -52,13 +52,29 @@ int
 main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
+    const int jobs = benchJobs(argc, argv);
     const uint64_t instr = scaled(1'000'000);
-    std::vector<double> joint, split;
+    const auto workloads = allWorkloads();
 
-    for (const auto &spec : allWorkloads()) {
-        const PfRun base = runPrefetchNamed(spec.app, "None", instr);
-        joint.push_back(runJoint(spec.app, instr) / base.ipc);
-        split.push_back(runSplit(spec.app, instr) / base.ipc);
+    // Three independent runs per workload: base, joint, split.
+    const std::vector<double> ipcs = sweepMap<double>(
+        jobs, 3 * workloads.size(), [&](size_t i) {
+            const AppProfile &app = workloads[i / 3].app;
+            switch (i % 3) {
+            case 0:
+                return runPrefetchNamed(app, "None", instr).ipc;
+            case 1:
+                return runJoint(app, instr);
+            default:
+                return runSplit(app, instr);
+            }
+        });
+
+    std::vector<double> joint, split;
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const double base = ipcs[3 * w];
+        joint.push_back(ipcs[3 * w + 1] / base);
+        split.push_back(ipcs[3 * w + 2] / base);
     }
 
     std::printf("Extension study: joint L1+L2 Bandit (33 arms) vs "

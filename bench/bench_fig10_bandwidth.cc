@@ -19,9 +19,34 @@ int
 main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
+    const int jobs = benchJobs(argc, argv);
     const uint64_t instr = scaled(1'200'000);
-    const double mtps_list[] = {150, 600, 2400, 9600};
+    const std::vector<double> mtps_list = {150, 600, 2400, 9600};
     const std::vector<std::string> pfs = {"Pythia", "Bandit"};
+    const auto workloads = allWorkloads();
+
+    // One grid over (bandwidth x workload x prefetcher incl. base).
+    struct Point
+    {
+        double mtps;
+        size_t workload;
+        std::string pf;
+    };
+    std::vector<Point> grid;
+    for (double mtps : mtps_list) {
+        for (size_t w = 0; w < workloads.size(); ++w) {
+            grid.push_back({mtps, w, "None"});
+            for (const auto &pf : pfs)
+                grid.push_back({mtps, w, pf});
+        }
+    }
+    const std::vector<PfRun> runs =
+        sweepMap<PfRun>(jobs, grid.size(), [&](size_t i) {
+            DramConfig dram;
+            dram.mtps = grid[i].mtps;
+            return runPrefetchNamed(workloads[grid[i].workload].app,
+                                    grid[i].pf, instr, {}, dram);
+        });
 
     std::printf("Figure 10: geomean IPC vs available DRAM bandwidth "
                 "(normalized to no-prefetch at same bandwidth)\n");
@@ -31,18 +56,13 @@ main(int argc, char **argv)
     std::printf("%12s\n", "Bandit/Pyt");
     rule(42);
 
+    size_t g = 0;
     for (double mtps : mtps_list) {
-        DramConfig dram;
-        dram.mtps = mtps;
         std::map<std::string, std::vector<double>> speedups;
-        for (const auto &spec : allWorkloads()) {
-            const PfRun base = runPrefetchNamed(spec.app, "None",
-                                                instr, {}, dram);
-            for (const auto &pf : pfs) {
-                const PfRun r = runPrefetchNamed(spec.app, pf, instr,
-                                                 {}, dram);
-                speedups[pf].push_back(r.ipc / base.ipc);
-            }
+        for (size_t w = 0; w < workloads.size(); ++w) {
+            const PfRun base = runs[g++];
+            for (const auto &pf : pfs)
+                speedups[pf].push_back(runs[g++].ipc / base.ipc);
         }
         const double pyt = gmean(speedups["Pythia"]);
         const double ban = gmean(speedups["Bandit"]);

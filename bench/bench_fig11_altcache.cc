@@ -14,19 +14,30 @@ int
 main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
+    const int jobs = benchJobs(argc, argv);
     const uint64_t instr = scaled(1'000'000);
     const HierarchyConfig hier = skylakeLikeAltConfig();
     const auto pf_names = comparisonPrefetchers();
+    const auto workloads = allWorkloads();
+
+    std::vector<std::pair<size_t, std::string>> grid;
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        grid.emplace_back(w, "None");
+        for (const auto &pf : pf_names)
+            grid.emplace_back(w, pf);
+    }
+    const std::vector<PfRun> runs =
+        sweepMap<PfRun>(jobs, grid.size(), [&](size_t i) {
+            return runPrefetchNamed(workloads[grid[i].first].app,
+                                    grid[i].second, instr, hier);
+        });
 
     std::map<std::string, std::vector<double>> speedups;
-    for (const auto &spec : allWorkloads()) {
-        const PfRun base =
-            runPrefetchNamed(spec.app, "None", instr, hier);
-        for (const auto &pf : pf_names) {
-            const PfRun r =
-                runPrefetchNamed(spec.app, pf, instr, hier);
-            speedups[pf].push_back(r.ipc / base.ipc);
-        }
+    size_t g = 0;
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const PfRun base = runs[g++];
+        for (const auto &pf : pf_names)
+            speedups[pf].push_back(runs[g++].ipc / base.ipc);
     }
 
     std::printf("Figure 11: geomean IPC normalized to no prefetching, "

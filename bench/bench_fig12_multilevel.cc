@@ -43,6 +43,7 @@ int
 main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
+    const int jobs = benchJobs(argc, argv);
     const uint64_t instr = scaled(800'000);
     const std::vector<Combo> combos = {
         {"Stride_Stride", "Stride", "Stride"},
@@ -51,13 +52,23 @@ main(int argc, char **argv)
         {"Stride_Bandit", "Stride", "Bandit"},
     };
 
+    const auto workloads = allWorkloads();
+    const Combo base_combo{"None", "", "None"};
+    const size_t per_app = 1 + combos.size();
+    const std::vector<double> ipcs = sweepMap<double>(
+        jobs, workloads.size() * per_app, [&](size_t i) {
+            const size_t c = i % per_app;
+            return runCombo(workloads[i / per_app].app,
+                            c == 0 ? base_combo : combos[c - 1],
+                            instr);
+        });
+
     std::map<std::string, std::vector<double>> speedups;
-    for (const auto &spec : allWorkloads()) {
-        const double base =
-            runCombo(spec.app, {"None", "", "None"}, instr);
-        for (const auto &combo : combos) {
-            speedups[combo.name].push_back(
-                runCombo(spec.app, combo, instr) / base);
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const double base = ipcs[w * per_app];
+        for (size_t c = 0; c < combos.size(); ++c) {
+            speedups[combos[c].name].push_back(
+                ipcs[w * per_app + 1 + c] / base);
         }
     }
 

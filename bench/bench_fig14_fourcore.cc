@@ -65,17 +65,26 @@ int
 main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
+    const int jobs = benchJobs(argc, argv);
     const uint64_t instr = scaled(600'000);
     const auto pf_names = comparisonPrefetchers();
+    const auto workloads = allWorkloads();
+
+    const size_t per_app = 1 + pf_names.size();
+    const std::vector<double> sums = sweepMap<double>(
+        jobs, workloads.size() * per_app, [&](size_t i) {
+            const size_t c = i % per_app;
+            return runHomogeneous(workloads[i / per_app].app,
+                                  c == 0 ? "None" : pf_names[c - 1],
+                                  instr);
+        });
 
     std::map<std::string, std::vector<double>> speedups;
-    for (const auto &spec : allWorkloads()) {
-        const double base =
-            runHomogeneous(spec.app, "None", instr);
-        for (const auto &pf : pf_names) {
-            speedups[pf].push_back(
-                runHomogeneous(spec.app, pf, instr) / base);
-        }
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const double base = sums[w * per_app];
+        for (size_t c = 0; c < pf_names.size(); ++c)
+            speedups[pf_names[c]].push_back(
+                sums[w * per_app + 1 + c] / base);
     }
 
     std::printf("Figure 14: 4-core homogeneous mixes, geomean IPC-sum "

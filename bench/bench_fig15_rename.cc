@@ -44,15 +44,32 @@ int
 main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
+    const int jobs = benchJobs(argc, argv);
     SmtRunConfig run_cfg;
     run_cfg.maxCycles = scaled(600'000);
 
     const auto mixes = smtMixes(226);
+
+    // One task per mix: both regime runs on the task's simulator.
+    struct MixStats
+    {
+        RenameStats choi;
+        RenameStats bandit;
+    };
+    const std::vector<MixStats> results = sweepMap<MixStats>(
+        jobs, mixes.size(), [&](size_t i) {
+            const auto &[a, b] = mixes[i];
+            SmtSimulator sim(a, b, run_cfg);
+            MixStats s;
+            s.choi = sim.runStatic(choiPolicy()).rename;
+            s.bandit = sim.runBandit().rename;
+            return s;
+        });
+
     Breakdown choi, bandit;
-    for (const auto &[a, b] : mixes) {
-        SmtSimulator sim(a, b, run_cfg);
-        choi.add(sim.runStatic(choiPolicy()).rename);
-        bandit.add(sim.runBandit().rename);
+    for (const MixStats &s : results) {
+        choi.add(s.choi);
+        bandit.add(s.bandit);
     }
 
     const double n = static_cast<double>(mixes.size());

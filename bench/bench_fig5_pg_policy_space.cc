@@ -19,11 +19,38 @@ int
 main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
+    const int jobs = benchJobs(argc, argv);
     SmtRunConfig run_cfg;
     run_cfg.maxCycles = scaled(350'000);
 
     const auto mixes = smtMixes(43, 10);
     const auto policies = allPgPolicies();
+
+    // One task per mix: the Choi reference plus the 64-policy scan,
+    // on the task's own simulator.
+    struct MixResult
+    {
+        double choi = 0.0;
+        double best = -1e9;
+        double worst = 1e9;
+        PgPolicy bestPolicy;
+    };
+    const std::vector<MixResult> results = sweepMap<MixResult>(
+        jobs, mixes.size(), [&](size_t i) {
+            const auto &[a, b] = mixes[i];
+            SmtSimulator sim(a, b, run_cfg);
+            MixResult r;
+            r.choi = sim.runStatic(choiPolicy()).ipcSum;
+            for (const auto &policy : policies) {
+                const double ipc = sim.runStatic(policy).ipcSum;
+                if (ipc > r.best) {
+                    r.best = ipc;
+                    r.bestPolicy = policy;
+                }
+                r.worst = std::min(r.worst, ipc);
+            }
+            return r;
+        });
 
     std::printf("Figure 5: best/worst fetch PG policy vs Choi "
                 "(IC_1011), %zu tune mixes x %zu policies\n",
@@ -34,32 +61,20 @@ main(int argc, char **argv)
 
     double sum_best = 0.0, sum_worst = 0.0;
     int lsq_best_count = 0;
-    for (const auto &[a, b] : mixes) {
-        SmtSimulator sim(a, b, run_cfg);
-        const double choi = sim.runStatic(choiPolicy()).ipcSum;
-
-        double best = -1e9, worst = 1e9;
-        PgPolicy best_policy;
-        for (const auto &policy : policies) {
-            const double ipc = sim.runStatic(policy).ipcSum;
-            if (ipc > best) {
-                best = ipc;
-                best_policy = policy;
-            }
-            worst = std::min(worst, ipc);
-        }
-
-        const double best_pct = 100.0 * (best / choi - 1.0);
-        const double worst_pct = 100.0 * (worst / choi - 1.0);
+    for (size_t i = 0; i < mixes.size(); ++i) {
+        const auto &[a, b] = mixes[i];
+        const MixResult &r = results[i];
+        const double best_pct = 100.0 * (r.best / r.choi - 1.0);
+        const double worst_pct = 100.0 * (r.worst / r.choi - 1.0);
         sum_best += best_pct;
         sum_worst += worst_pct;
-        if (best_policy.priority == FetchPriority::LSQC ||
-            best_policy.gateLsq) {
+        if (r.bestPolicy.priority == FetchPriority::LSQC ||
+            r.bestPolicy.gateLsq) {
             ++lsq_best_count;
         }
         std::printf("%-24s %8.1f%% %8.1f%%  %s\n",
                     (a + "-" + b).c_str(), best_pct, worst_pct,
-                    best_policy.name().c_str());
+                    r.bestPolicy.name().c_str());
     }
 
     rule(64);

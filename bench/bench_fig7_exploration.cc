@@ -42,79 +42,116 @@ timeline(const std::vector<std::pair<uint64_t, int>> &history,
     return out;
 }
 
+constexpr MabAlgorithm kAlgos[] = {MabAlgorithm::Single,
+                                   MabAlgorithm::Ucb,
+                                   MabAlgorithm::Ducb};
+constexpr size_t kNumAlgos = 3;
+
+/** One run's printable outcome: IPC plus (for bandits) a timeline. */
+struct Row
+{
+    double ipc = 0.0;
+    std::string tl;
+};
+
 void
-prefetchColumn(const std::string &app_name)
+prefetchColumn(int jobs, const std::string &app_name)
 {
     const AppProfile app = appByName(app_name);
     const uint64_t instr = scaled(2'000'000);
 
     std::printf("== prefetching: %s ==\n", app_name.c_str());
 
-    // Best static arm.
+    // Tasks: one per static arm, then one per bandit algorithm.
+    const size_t num_arms =
+        static_cast<size_t>(BanditEnsemblePrefetcher::numArms());
+    const std::vector<Row> rows = sweepMap<Row>(
+        jobs, num_arms + kNumAlgos, [&](size_t i) {
+            Row row;
+            if (i < num_arms) {
+                MabConfig mcfg;
+                mcfg.numArms = BanditEnsemblePrefetcher::numArms();
+                BanditPrefetchController pf(
+                    std::make_unique<FixedArmPolicy>(
+                        mcfg, static_cast<ArmId>(i)),
+                    BanditHwConfig{});
+                row.ipc = runPrefetch(app, pf, instr).ipc;
+                return row;
+            }
+            BanditPrefetchConfig cfg;
+            cfg.algorithm = kAlgos[i - num_arms];
+            cfg.hw.recordHistory = true;
+            BanditPrefetchController pf(cfg);
+            const PfRun r = runPrefetch(app, pf, instr);
+            // History is recorded in cycles; estimate the end cycle.
+            const uint64_t end = static_cast<uint64_t>(
+                static_cast<double>(instr) / r.ipc);
+            row.ipc = r.ipc;
+            row.tl = timeline(pf.agent().history(), end);
+            return row;
+        });
+
     double best_ipc = 0.0;
     ArmId best_arm = 0;
-    for (ArmId arm = 0; arm < BanditEnsemblePrefetcher::numArms();
-         ++arm) {
-        MabConfig mcfg;
-        mcfg.numArms = BanditEnsemblePrefetcher::numArms();
-        BanditPrefetchController pf(
-            std::make_unique<FixedArmPolicy>(mcfg, arm),
-            BanditHwConfig{});
-        const double ipc = runPrefetch(app, pf, instr).ipc;
-        if (ipc > best_ipc) {
-            best_ipc = ipc;
-            best_arm = arm;
+    for (size_t arm = 0; arm < num_arms; ++arm) {
+        if (rows[arm].ipc > best_ipc) {
+            best_ipc = rows[arm].ipc;
+            best_arm = static_cast<ArmId>(arm);
         }
     }
     std::printf("%-11s ipc=%.3f  arm %d throughout\n", "BestStatic",
                 best_ipc, best_arm);
-
-    for (const auto &algo : {MabAlgorithm::Single, MabAlgorithm::Ucb,
-                             MabAlgorithm::Ducb}) {
-        BanditPrefetchConfig cfg;
-        cfg.algorithm = algo;
-        cfg.hw.recordHistory = true;
-        BanditPrefetchController pf(cfg);
-        const PfRun r = runPrefetch(app, pf, instr);
-        // History is recorded in cycles; estimate the end cycle.
-        const uint64_t end =
-            static_cast<uint64_t>(static_cast<double>(instr) / r.ipc);
-        std::printf("%-11s ipc=%.3f  %s\n", toString(algo).c_str(),
-                    r.ipc,
-                    timeline(pf.agent().history(), end).c_str());
+    for (size_t k = 0; k < kNumAlgos; ++k) {
+        const Row &row = rows[num_arms + k];
+        std::printf("%-11s ipc=%.3f  %s\n",
+                    toString(kAlgos[k]).c_str(), row.ipc,
+                    row.tl.c_str());
     }
 }
 
 void
-smtColumn(const std::string &a, const std::string &b)
+smtColumn(int jobs, const std::string &a, const std::string &b)
 {
     SmtRunConfig run_cfg;
     run_cfg.maxCycles = scaled(1'200'000);
-    SmtSimulator sim(a, b, run_cfg);
 
     std::printf("== SMT fetch: %s-%s ==\n", a.c_str(), b.c_str());
 
+    // Every run resets the trace sources and builds a fresh
+    // pipeline, so each task can own its own simulator.
+    const size_t num_arms = smtArmTable().size();
+    const std::vector<Row> rows = sweepMap<Row>(
+        jobs, num_arms + kNumAlgos, [&](size_t i) {
+            SmtSimulator sim(a, b, run_cfg);
+            Row row;
+            if (i < num_arms) {
+                row.ipc = sim.runStatic(smtArmTable()[i]).ipcSum;
+                return row;
+            }
+            SmtBanditConfig cfg;
+            cfg.algorithm = kAlgos[i - num_arms];
+            const SmtRunResult r = sim.runBandit(cfg);
+            row.ipc = r.ipcSum;
+            row.tl = timeline(r.armHistory, r.cycles);
+            return row;
+        });
+
     double best_ipc = 0.0;
     int best_arm = 0;
-    for (size_t arm = 0; arm < smtArmTable().size(); ++arm) {
-        const double ipc = sim.runStatic(smtArmTable()[arm]).ipcSum;
-        if (ipc > best_ipc) {
-            best_ipc = ipc;
+    for (size_t arm = 0; arm < num_arms; ++arm) {
+        if (rows[arm].ipc > best_ipc) {
+            best_ipc = rows[arm].ipc;
             best_arm = static_cast<int>(arm);
         }
     }
     std::printf("%-11s ipc=%.3f  arm %d (%s) throughout\n",
                 "BestStatic", best_ipc, best_arm,
                 smtArmTable()[best_arm].name().c_str());
-
-    for (const auto &algo : {MabAlgorithm::Single, MabAlgorithm::Ucb,
-                             MabAlgorithm::Ducb}) {
-        SmtBanditConfig cfg;
-        cfg.algorithm = algo;
-        const SmtRunResult r = sim.runBandit(cfg);
-        std::printf("%-11s ipc=%.3f  %s\n", toString(algo).c_str(),
-                    r.ipcSum,
-                    timeline(r.armHistory, r.cycles).c_str());
+    for (size_t k = 0; k < kNumAlgos; ++k) {
+        const Row &row = rows[num_arms + k];
+        std::printf("%-11s ipc=%.3f  %s\n",
+                    toString(kAlgos[k]).c_str(), row.ipc,
+                    row.tl.c_str());
     }
 }
 
@@ -124,14 +161,15 @@ int
 main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
+    const int jobs = benchJobs(argc, argv);
     std::printf("Figure 7: arm index explored over time "
                 "(24 samples per run)\n\n");
-    prefetchColumn("cactusADM06");
+    prefetchColumn(jobs, "cactusADM06");
     std::printf("\n");
-    prefetchColumn("mcf06");
+    prefetchColumn(jobs, "mcf06");
     std::printf("\n");
-    smtColumn("gcc", "lbm");
+    smtColumn(jobs, "gcc", "lbm");
     std::printf("\n");
-    smtColumn("cactuBSSN", "lbm");
+    smtColumn(jobs, "cactuBSSN", "lbm");
     return 0;
 }

@@ -18,18 +18,35 @@ int
 main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
+    const int jobs = benchJobs(argc, argv);
     const uint64_t instr = scaled(1'000'000);
     const auto pf_names = comparisonPrefetchers();
+    const auto workloads = allWorkloads();
+
+    // Task grid: the no-prefetch base plus every comparison
+    // prefetcher, per workload; every point is an independent run.
+    std::vector<std::pair<size_t, std::string>> grid;
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        grid.emplace_back(w, "None");
+        for (const auto &pf : pf_names)
+            grid.emplace_back(w, pf);
+    }
+    const std::vector<PfRun> runs =
+        sweepMap<PfRun>(jobs, grid.size(), [&](size_t i) {
+            return runPrefetchNamed(workloads[grid[i].first].app,
+                                    grid[i].second, instr);
+        });
 
     // speedups[pf][suite] -> per-app normalized IPCs.
     std::map<std::string, std::map<std::string, std::vector<double>>>
         speedups;
 
     json::Value apps = json::Value::array();
-    for (const auto &spec : allWorkloads()) {
-        const PfRun base = runPrefetchNamed(spec.app, "None", instr);
+    size_t g = 0;
+    for (const auto &spec : workloads) {
+        const PfRun base = runs[g++];
         for (const auto &pf : pf_names) {
-            const PfRun r = runPrefetchNamed(spec.app, pf, instr);
+            const PfRun r = runs[g++];
             speedups[pf][spec.suite].push_back(r.ipc / base.ipc);
 
             json::Value row = json::Value::object();

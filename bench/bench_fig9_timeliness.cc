@@ -20,9 +20,20 @@ int
 main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
+    const int jobs = benchJobs(argc, argv);
     const uint64_t instr = scaled(1'000'000);
     std::vector<std::string> configs = comparisonPrefetchers();
     configs.push_back("BanditIdeal");
+    const auto workloads = allWorkloads();
+
+    const size_t per_app = 1 + configs.size();
+    const std::vector<PfRun> runs = sweepMap<PfRun>(
+        jobs, workloads.size() * per_app, [&](size_t i) {
+            const size_t c = i % per_app;
+            return runPrefetchNamed(workloads[i / per_app].app,
+                                    c == 0 ? "None" : configs[c - 1],
+                                    instr);
+        });
 
     struct Acc
     {
@@ -31,14 +42,14 @@ main(int argc, char **argv)
     };
     std::map<std::string, Acc> acc;
 
-    for (const auto &spec : allWorkloads()) {
-        const PfRun base = runPrefetchNamed(spec.app, "None", instr);
+    for (size_t w = 0; w < workloads.size(); ++w) {
+        const PfRun &base = runs[w * per_app];
         const double denom =
             std::max<double>(static_cast<double>(base.llcDemandMisses),
                              1.0);
-        for (const auto &pf : configs) {
-            const PfRun r = runPrefetchNamed(spec.app, pf, instr);
-            Acc &a = acc[pf];
+        for (size_t c = 0; c < configs.size(); ++c) {
+            const PfRun &r = runs[w * per_app + 1 + c];
+            Acc &a = acc[configs[c]];
             a.llcMiss += static_cast<double>(r.llcDemandMisses) / denom;
             a.timely += static_cast<double>(r.pf.timely) / denom;
             a.late += static_cast<double>(r.pf.late) / denom;

@@ -21,6 +21,7 @@ int
 main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
+    const int jobs = benchJobs(argc, argv);
     const uint64_t instr = scaled(1'500'000);
     const auto tune = tuneSetPrefetch();
 
@@ -32,25 +33,37 @@ main(int argc, char **argv)
         "Pythia", "Single", "Periodic", "eGreedy", "UCB", "DUCB",
     };
 
-    std::map<std::string, std::vector<double>> ratios;
-    for (const auto &app : tune) {
-        // Best static arm: run every arm of Table 7 statically.
-        double best_static = 0.0;
-        for (ArmId arm = 0; arm < BanditEnsemblePrefetcher::numArms();
-             ++arm) {
-            MabConfig mcfg;
-            mcfg.numArms = BanditEnsemblePrefetcher::numArms();
-            BanditPrefetchController pf(
-                std::make_unique<FixedArmPolicy>(mcfg, arm),
-                BanditHwConfig{});
-            const PfRun r = runPrefetch(app, pf, instr);
-            best_static = std::max(best_static, r.ipc);
-        }
+    // Per app: the 11 static-arm runs of Table 7 plus the 6
+    // algorithms — every run an independent task.
+    const size_t num_arms =
+        static_cast<size_t>(BanditEnsemblePrefetcher::numArms());
+    const size_t per_app = num_arms + algos.size();
+    const std::vector<double> ipcs = sweepMap<double>(
+        jobs, tune.size() * per_app, [&](size_t i) {
+            const AppProfile &app = tune[i / per_app];
+            const size_t c = i % per_app;
+            if (c < num_arms) {
+                MabConfig mcfg;
+                mcfg.numArms = BanditEnsemblePrefetcher::numArms();
+                BanditPrefetchController pf(
+                    std::make_unique<FixedArmPolicy>(
+                        mcfg, static_cast<ArmId>(c)),
+                    BanditHwConfig{});
+                return runPrefetch(app, pf, instr).ipc;
+            }
+            return runPrefetchNamed(app, algos[c - num_arms], instr)
+                .ipc;
+        });
 
-        for (size_t i = 0; i < algos.size(); ++i) {
-            const PfRun r = runPrefetchNamed(app, algos[i], instr);
-            ratios[labels[i]].push_back(r.ipc / best_static);
-        }
+    std::map<std::string, std::vector<double>> ratios;
+    for (size_t a = 0; a < tune.size(); ++a) {
+        const size_t off = a * per_app;
+        double best_static = 0.0;
+        for (size_t arm = 0; arm < num_arms; ++arm)
+            best_static = std::max(best_static, ipcs[off + arm]);
+        for (size_t i = 0; i < algos.size(); ++i)
+            ratios[labels[i]].push_back(ipcs[off + num_arms + i] /
+                                        best_static);
     }
 
     std::printf("Table 8: IPC as %% of best static arm "

@@ -21,6 +21,7 @@ int
 main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
+    const int jobs = benchJobs(argc, argv);
     SmtRunConfig run_cfg;
     run_cfg.maxCycles = scaled(800'000);
 
@@ -33,23 +34,37 @@ main(int argc, char **argv)
         {"DUCB", MabAlgorithm::Ducb},
     };
 
+    // One task per mix: all regime runs share the task-owned
+    // simulator, in the original serial order.
+    struct MixResult
+    {
+        double bestStatic = 0.0;
+        double choi = 0.0;
+        std::vector<double> algo;
+    };
+    const std::vector<MixResult> results = sweepMap<MixResult>(
+        jobs, mixes.size(), [&](size_t i) {
+            const auto &[a, b] = mixes[i];
+            SmtSimulator sim(a, b, run_cfg);
+            MixResult r;
+            for (const auto &arm : smtArmTable())
+                r.bestStatic = std::max(r.bestStatic,
+                                        sim.runStatic(arm).ipcSum);
+            r.choi = sim.runStatic(choiPolicy()).ipcSum;
+            for (const auto &[label, algo] : algos) {
+                SmtBanditConfig cfg;
+                cfg.algorithm = algo;
+                r.algo.push_back(sim.runBandit(cfg).ipcSum);
+            }
+            return r;
+        });
+
     std::map<std::string, std::vector<double>> ratios;
-    for (const auto &[a, b] : mixes) {
-        SmtSimulator sim(a, b, run_cfg);
-
-        double best_static = 0.0;
-        for (const auto &arm : smtArmTable())
-            best_static = std::max(best_static,
-                                   sim.runStatic(arm).ipcSum);
-
-        ratios["Choi"].push_back(
-            sim.runStatic(choiPolicy()).ipcSum / best_static);
-        for (const auto &[label, algo] : algos) {
-            SmtBanditConfig cfg;
-            cfg.algorithm = algo;
-            ratios[label].push_back(sim.runBandit(cfg).ipcSum /
-                                    best_static);
-        }
+    for (const MixResult &r : results) {
+        ratios["Choi"].push_back(r.choi / r.bestStatic);
+        for (size_t c = 0; c < algos.size(); ++c)
+            ratios[algos[c].first].push_back(r.algo[c] /
+                                             r.bestStatic);
     }
 
     const std::vector<std::string> cols = {

@@ -31,6 +31,7 @@
 #include "prefetch/pythia.h"
 #include "prefetch/stride.h"
 #include "sim/json.h"
+#include "sim/parallel.h"
 #include "sim/stats.h"
 #include "sim/tracing.h"
 #include "trace/suites.h"
@@ -56,15 +57,101 @@ scaled(uint64_t n)
     return static_cast<uint64_t>(static_cast<double>(n) * benchScale());
 }
 
-/** Value following @p flag on the command line, else nullptr. */
+/**
+ * Value following @p flag on the command line, else nullptr. A flag
+ * appearing as the final token has no value to return — that is a
+ * usage error and exits with status 2 (the old code silently ignored
+ * the flag, which turned e.g. a forgotten `--json` path into a run
+ * with no report at all).
+ */
 inline const char *
 argValue(int argc, char **argv, const char *flag)
 {
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], flag) == 0)
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "usage error: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
             return argv[i + 1];
+        }
     }
     return nullptr;
+}
+
+/**
+ * Sweep-execution record of this process: the job count the harness
+ * chose and the wall-clock of every sweep task, in submission order.
+ * Stamped into the "parallel" entry of every report's meta block so a
+ * result file says how it was produced and where the time went.
+ */
+struct ParallelMeta
+{
+    int jobs = 1;
+    std::vector<double> taskWallMs;
+};
+
+inline ParallelMeta &
+parallelMeta()
+{
+    static ParallelMeta meta;
+    return meta;
+}
+
+/**
+ * Parallel width of the bench sweep: `--jobs N` on the command line,
+ * else MAB_BENCH_JOBS, else 1 (serial, the pre-parallel behavior).
+ * N = 0 selects the hardware concurrency. Call it after constructing
+ * the TracingSession: when a trace or audit sink is open the sweep is
+ * clamped to serial, because concurrent runs would interleave on the
+ * shared virtual timeline (see sim/tracing.h:beginRun).
+ *
+ * Per-run simulation results do not depend on the choice: every sweep
+ * task owns its trace, prefetcher, RNG and registry, and results are
+ * aggregated in submission order (sim/parallel.h), so `--json` reports
+ * are byte-identical across job counts modulo the meta block.
+ */
+inline int
+benchJobs(int argc, char **argv)
+{
+    int jobs = 1;
+    const char *v = argValue(argc, argv, "--jobs");
+    if (!v)
+        v = std::getenv("MAB_BENCH_JOBS");
+    if (v) {
+        jobs = std::atoi(v);
+        if (jobs == 0)
+            jobs = SweepRunner::hardwareJobs();
+        if (jobs < 1)
+            jobs = 1;
+    }
+    if (jobs > 1 && tracing::Tracer::global().enabled()) {
+        std::printf(
+            "tracing/audit sink open: serializing sweep (jobs 1)\n");
+        jobs = 1;
+    }
+    parallelMeta().jobs = jobs;
+    return jobs;
+}
+
+/**
+ * Run the sweep { fn(0), ..., fn(n-1) } on @p jobs lanes and return
+ * the results in submission order; the per-task wall-clock lands in
+ * parallelMeta(). This is the one call every bench binary routes its
+ * independent runs through: compute the task grid up front, simulate
+ * through sweepMap, then print/aggregate serially as before.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+sweepMap(int jobs, size_t n, Fn &&fn)
+{
+    SweepRunner runner(jobs);
+    std::vector<T> results = runner.runAll<T>(n, std::forward<Fn>(fn));
+    ParallelMeta &meta = parallelMeta();
+    for (const SweepTaskStats &s : runner.lastTaskStats())
+        meta.taskWallMs.push_back(static_cast<double>(s.wallNs) / 1e6);
+    return results;
 }
 
 /**
@@ -160,6 +247,14 @@ runMetaJson(int argc, char **argv)
     sim["dramMtps"] = dram.mtps;
     sim["dramBaseLatencyCycles"] = dram.baseLatencyCycles;
     meta["sim"] = std::move(sim);
+
+    json::Value par = json::Value::object();
+    par["jobs"] = parallelMeta().jobs;
+    json::Value wall = json::Value::array();
+    for (double ms : parallelMeta().taskWallMs)
+        wall.push(ms);
+    par["taskWallMs"] = std::move(wall);
+    meta["parallel"] = std::move(par);
     return meta;
 }
 
@@ -367,18 +462,19 @@ runPrefetch(const AppProfile &app, Prefetcher &pf, uint64_t instr,
     tracing::Tracer &tracer = tracing::Tracer::global();
     tracer.beginRun(seeded.name + "/" + pf.name());
 
-    // Give learning prefetchers that want it a DRAM utilization probe
-    // (Pythia's bandwidth awareness).
-    if (auto *pythia = dynamic_cast<PythiaPrefetcher *>(&pf)) {
-        Dram *d = &core.hierarchy().dram();
-        pythia->setBandwidthProbe([d](uint64_t cycle) {
-            const uint64_t busy = d->busFreeCycle();
-            if (busy <= cycle)
-                return 0.0;
-            const double backlog = static_cast<double>(busy - cycle);
-            return backlog >= 500.0 ? 1.0 : backlog / 500.0;
-        });
-    }
+    // Offer every prefetcher the system probes this host can provide;
+    // implementations that exploit one take it (Pythia's bandwidth
+    // awareness), the rest inherit the no-op default.
+    SystemProbes probes;
+    Dram *d = &core.hierarchy().dram();
+    probes.dramUtilization = [d](uint64_t cycle) {
+        const uint64_t busy = d->busFreeCycle();
+        if (busy <= cycle)
+            return 0.0;
+        const double backlog = static_cast<double>(busy - cycle);
+        return backlog >= 500.0 ? 1.0 : backlog / 500.0;
+    };
+    pf.attachSystemProbes(probes);
 
     core.run(instr);
     tracer.endRun(core.cycles());

@@ -23,7 +23,14 @@ for preset in "${presets[@]}"; do
     echo "=== preset: ${preset} ==="
     cmake --preset "${preset}"
     cmake --build --preset "${preset}" -j "${jobs}"
-    ctest --preset "${preset}" -j "${jobs}"
+    # The asan-ubsan preset runs the suite with a 4-job sweep pool so
+    # the SweepRunner, the parallel golden snapshots, and the
+    # bench-smoke sweeps double as a data-race/memory-error sweep.
+    if [ "${preset}" = "asan-ubsan" ]; then
+        MAB_BENCH_JOBS=4 ctest --preset "${preset}" -j "${jobs}"
+    else
+        ctest --preset "${preset}" -j "${jobs}"
+    fi
 done
 
 echo "All presets green."

@@ -44,7 +44,7 @@ struct BanditPrefetchConfig
  * the ensemble, and advances the agent's step counter with the
  * committed-instruction / cycle counters used for the IPC reward.
  */
-class BanditPrefetchController : public Prefetcher
+class BanditPrefetchController final : public Prefetcher
 {
   public:
     explicit BanditPrefetchController(

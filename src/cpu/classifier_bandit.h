@@ -63,7 +63,7 @@ class PatternClassifier
  * Storage: 3 agents x 11 arms x 8B = 264B plus the classifier
  * histogramless state — still orders of magnitude below Pythia.
  */
-class ClassifierBanditController : public Prefetcher
+class ClassifierBanditController final : public Prefetcher
 {
   public:
     explicit ClassifierBanditController(

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <type_traits>
 
+#include "cpu/bandit_prefetch.h"
 #include "sim/tracing.h"
 
 namespace mab {
@@ -15,6 +16,7 @@ CoreModel::CoreModel(const CoreConfig &config,
       l2Prefetcher_(l2Prefetcher), l1Prefetcher_(l1Prefetcher),
       robCommit_(config.robSize, 0.0)
 {
+    cacheConcreteTypes();
 }
 
 CoreModel::CoreModel(const CoreConfig &config,
@@ -25,6 +27,16 @@ CoreModel::CoreModel(const CoreConfig &config,
       trace_(trace), l2Prefetcher_(l2Prefetcher),
       l1Prefetcher_(l1Prefetcher), robCommit_(config.robSize, 0.0)
 {
+    cacheConcreteTypes();
+}
+
+void
+CoreModel::cacheConcreteTypes()
+{
+    // One dynamic_cast per simulator instead of one indirect call per
+    // instruction (see the member comment in core_model.h).
+    synthTrace_ = dynamic_cast<SyntheticTrace *>(&trace_);
+    banditL2_ = dynamic_cast<BanditPrefetchController *>(l2Prefetcher_);
 }
 
 template <bool Profiled>
@@ -36,7 +48,10 @@ CoreModel::issuePrefetchesT(const PrefetchAccess &access, bool at_l1)
         phase(tracing::Phase::PrefetchIssue);
     Prefetcher *pf = at_l1 ? l1Prefetcher_ : l2Prefetcher_;
     pfScratch_.clear();
-    pf->onAccess(access, pfScratch_);
+    if (!at_l1 && banditL2_)
+        banditL2_->onAccess(access, pfScratch_); // direct (final)
+    else
+        pf->onAccess(access, pfScratch_);
     const uint64_t issue_cycle = access.cycle +
         config_.prefetchIssueLatency;
     for (uint64_t addr : pfScratch_) {
@@ -54,7 +69,8 @@ CoreModel::stepOneT()
     std::conditional_t<Profiled, tracing::ScopedPhase,
                        tracing::NoopPhase>
         phase(tracing::Phase::CoreTick);
-    const TraceRecord rec = trace_.next();
+    const TraceRecord rec =
+        synthTrace_ ? synthTrace_->next() : trace_.next();
     const size_t slot = instructions_ %
         static_cast<size_t>(config_.robSize);
 
@@ -119,27 +135,22 @@ CoreModel::stepOneT()
 template void CoreModel::stepOneT<false>();
 template void CoreModel::stepOneT<true>();
 
+template <bool Profiled>
 void
-CoreModel::run(uint64_t instructions)
+CoreModel::runTo(uint64_t instructions, uint64_t granularity)
 {
-    tracing::Tracer &tracer = tracing::Tracer::global();
-    const uint64_t granularity = tracer.sampleGranularity();
     if (granularity == 0) {
-        if (tracing::Tracer::profileActive()) {
-            while (instructions_ < instructions)
-                stepOneT<true>();
-        } else {
-            // The baseline loop: no sampling, no phase timers, no
-            // per-step dispatch branch anywhere down the call chain.
-            while (instructions_ < instructions)
-                stepOneT<false>();
-        }
+        // The baseline loop: no sampling and (for the unprofiled
+        // instantiation) no phase timers, no per-step dispatch branch
+        // anywhere down the call chain.
+        while (instructions_ < instructions)
+            stepOneT<Profiled>();
         return;
     }
 
     uint64_t next_sample = (cycles() / granularity + 1) * granularity;
     while (instructions_ < instructions) {
-        stepOne();
+        stepOneT<Profiled>();
         if (cycles() >= next_sample) {
             sampleInterval();
             next_sample =
@@ -147,6 +158,19 @@ CoreModel::run(uint64_t instructions)
         }
     }
     sampleInterval();
+}
+
+void
+CoreModel::run(uint64_t instructions)
+{
+    // One profiling test per run() call; both loop flavors below are
+    // branch-free on the tracing state per instruction.
+    const uint64_t granularity =
+        tracing::Tracer::global().sampleGranularity();
+    if (tracing::Tracer::profileActive())
+        runTo<true>(instructions, granularity);
+    else
+        runTo<false>(instructions, granularity);
 }
 
 void

@@ -11,6 +11,8 @@
 
 namespace mab {
 
+class BanditPrefetchController;
+
 /** Core parameters (Table 4 defaults; Skylake-like). */
 struct CoreConfig
 {
@@ -132,6 +134,17 @@ class CoreModel
     template <bool Profiled>
     void issuePrefetchesT(const PrefetchAccess &access, bool at_l1);
 
+    /**
+     * The whole run loop, templated on the profiling flag so neither
+     * the sampled nor the unsampled variant re-tests profileActive()
+     * per instruction; run() dispatches once.
+     */
+    template <bool Profiled>
+    void runTo(uint64_t instructions, uint64_t granularity);
+
+    /** Resolve the devirtualization caches (ctor helper). */
+    void cacheConcreteTypes();
+
     /** Last interval-sampler snapshot (sim/tracing.h); deltas between
      *  snapshots become the IPC / hit-rate / accuracy / DRAM-util
      *  counter tracks. */
@@ -153,6 +166,19 @@ class CoreModel
     TraceSource &trace_;
     Prefetcher *l2Prefetcher_;
     Prefetcher *l1Prefetcher_;
+
+    /**
+     * Devirtualization caches, resolved once at construction: the two
+     * virtual calls on the per-instruction path are trace_.next() and
+     * l2Prefetcher_->onAccess(). When the dynamic types are the common
+     * ones (SyntheticTrace; BanditPrefetchController, the paper's
+     * subject), the hot loop calls them through these pointers — both
+     * classes are final, so the calls are direct and inlinable. Other
+     * dynamic types (FileTrace, the comparison prefetchers) fall back
+     * to the virtual call.
+     */
+    SyntheticTrace *synthTrace_ = nullptr;
+    BanditPrefetchController *banditL2_ = nullptr;
 
     uint64_t instructions_ = 0;
     double fetchClock_ = 0.0;

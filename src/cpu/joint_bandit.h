@@ -54,7 +54,7 @@ class JointBanditController
   private:
     void applyArm(ArmId arm);
 
-    class L1View : public Prefetcher
+    class L1View final : public Prefetcher
     {
       public:
         explicit L1View(JointBanditController *owner)
@@ -72,7 +72,7 @@ class JointBanditController
         JointBanditController *owner_;
     };
 
-    class L2View : public Prefetcher
+    class L2View final : public Prefetcher
     {
       public:
         explicit L2View(JointBanditController *owner)

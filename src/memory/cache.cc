@@ -2,8 +2,6 @@
 
 #include <cassert>
 
-#include "trace/record.h"
-
 namespace mab {
 
 Cache::Cache(const CacheConfig &config) : config_(config)
@@ -13,24 +11,6 @@ Cache::Cache(const CacheConfig &config) : config_(config)
     assert(numSets_ > 0 && (numSets_ & (numSets_ - 1)) == 0 &&
            "cache sets must be a nonzero power of two");
     lines_.assign(numSets_ * config_.ways, Line{});
-}
-
-Cache::Line *
-Cache::findLine(uint64_t line)
-{
-    const uint64_t set = (line / kLineBytes) & (numSets_ - 1);
-    Line *base = &lines_[set * config_.ways];
-    for (int w = 0; w < config_.ways; ++w) {
-        if (base[w].valid && base[w].tag == line)
-            return &base[w];
-    }
-    return nullptr;
-}
-
-const Cache::Line *
-Cache::findLine(uint64_t line) const
-{
-    return const_cast<Cache *>(this)->findLine(line);
 }
 
 Cache::LookupResult
@@ -63,24 +43,33 @@ Cache::EvictInfo
 Cache::fill(uint64_t line, uint64_t readyCycle, bool prefetch)
 {
     EvictInfo info;
-    if (Line *existing = findLine(line)) {
-        // Already present: a demand fill promotes a prefetched line.
-        if (!prefetch)
-            existing->prefetched = false;
-        return info;
-    }
 
-    const uint64_t set = (line / kLineBytes) & (numSets_ - 1);
-    Line *base = &lines_[set * config_.ways];
-    Line *victim = &base[0];
+    // Fused probe: one scan finds the hit, the first invalid way and
+    // the LRU victim at once (the pre-optimization code scanned the
+    // set twice on every miss fill — once in findLine, once for the
+    // victim). The hit can short-circuit; the invalid/LRU candidates
+    // cannot be committed before a miss is proven, since
+    // invalidate() punches holes in front of valid lines.
+    Line *base = setBase(line);
+    Line *firstInvalid = nullptr;
+    Line *lru = &base[0];
     for (int w = 0; w < config_.ways; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
+        Line &l = base[w];
+        if (l.valid) {
+            if (l.tag == line) {
+                // Already present: a demand fill promotes a
+                // prefetched line.
+                if (!prefetch)
+                    l.prefetched = false;
+                return info;
+            }
+            if (l.lastUse < lru->lastUse)
+                lru = &l;
+        } else if (!firstInvalid) {
+            firstInvalid = &l;
         }
-        if (base[w].lastUse < victim->lastUse)
-            victim = &base[w];
     }
+    Line *victim = firstInvalid ? firstInvalid : lru;
 
     if (victim->valid) {
         info.evictedValid = true;

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "trace/record.h"
+
 namespace mab {
 
 /** Geometry and latency of one cache level. */
@@ -95,8 +97,35 @@ class Cache
         bool used = false;
     };
 
-    Line *findLine(uint64_t line);
-    const Line *findLine(uint64_t line) const;
+    /** First way of the set @p line maps to. */
+    Line *
+    setBase(uint64_t line)
+    {
+        const uint64_t set = (line / kLineBytes) & (numSets_ - 1);
+        return &lines_[set * config_.ways];
+    }
+
+    /**
+     * Single-pass tag probe, inlined into the per-access paths
+     * (lookupDemand / contains / invalidate all reduce to this one
+     * scan; fill runs its own fused hit+victim scan).
+     */
+    Line *
+    findLine(uint64_t line)
+    {
+        Line *base = setBase(line);
+        for (int w = 0; w < config_.ways; ++w) {
+            if (base[w].valid && base[w].tag == line)
+                return &base[w];
+        }
+        return nullptr;
+    }
+
+    const Line *
+    findLine(uint64_t line) const
+    {
+        return const_cast<Cache *>(this)->findLine(line);
+    }
 
     CacheConfig config_;
     uint64_t numSets_;

@@ -21,7 +21,7 @@ namespace mab {
  * capturing the core mechanism at a fraction of the engineering
  * surface of the original.
  */
-class BingoPrefetcher : public Prefetcher
+class BingoPrefetcher final : public Prefetcher
 {
   public:
     /** @param region_bytes spatial region size (2KB in the paper). */

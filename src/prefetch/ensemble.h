@@ -31,7 +31,7 @@ const std::array<PrefetchArm, 11> &prefetchArmTable();
  * stride prefetcher behind POWER7-style programmable degree registers.
  * applyArm() models the Bandit writing those registers (Figure 6(b)).
  */
-class BanditEnsemblePrefetcher : public Prefetcher
+class BanditEnsemblePrefetcher final : public Prefetcher
 {
   public:
     BanditEnsemblePrefetcher();

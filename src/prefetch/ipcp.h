@@ -17,7 +17,7 @@ namespace mab {
  * stride — and Global Stream (GS) — IPs that participate in a
  * monotonic global access stream. Unclassified IPs do not prefetch.
  */
-class IpcpPrefetcher : public Prefetcher
+class IpcpPrefetcher final : public Prefetcher
 {
   public:
     explicit IpcpPrefetcher(int table_entries = 64, int cs_degree = 3,

@@ -20,7 +20,7 @@ namespace mab {
  * level; each demand access then prefetches with every
  * above-threshold level offset.
  */
-class MlopPrefetcher : public Prefetcher
+class MlopPrefetcher final : public Prefetcher
 {
   public:
     explicit MlopPrefetcher(int levels = 16, int history = 256,

@@ -10,7 +10,7 @@ namespace mab {
  * X + 1. One of the three lightweight prefetchers the Bandit
  * orchestrates (Section 5.2); its only knob is on/off.
  */
-class NextLinePrefetcher : public Prefetcher
+class NextLinePrefetcher final : public Prefetcher
 {
   public:
     void onAccess(const PrefetchAccess &access,

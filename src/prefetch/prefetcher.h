@@ -2,6 +2,7 @@
 #define MAB_PREFETCH_PREFETCHER_H
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,21 @@ struct PrefetchAccess
      * controller) read their reward counters from here (Figure 6(d)).
      */
     uint64_t instrCount = 0;
+};
+
+/**
+ * System-state probes a host may offer a prefetcher at hookup time.
+ * Plain callables keep the prefetch layer independent of the memory
+ * model: the host binds whatever it can observe, the prefetcher takes
+ * what it understands. Unset members mean "not available".
+ */
+struct SystemProbes
+{
+    /**
+     * DRAM bus utilization in [0, 1] at the given cycle. Drives
+     * bandwidth-aware reward shaping (Pythia).
+     */
+    std::function<double(uint64_t cycle)> dramUtilization;
 };
 
 /**
@@ -50,10 +66,19 @@ class Prefetcher
 
     /** Drop all learned state. */
     virtual void reset() = 0;
+
+    /**
+     * Offer system-state probes to the prefetcher. Hosts call this
+     * once after wiring up the hierarchy; the default implementation
+     * ignores the offer, and implementations that can exploit a probe
+     * (e.g. Pythia's bandwidth awareness) override it. Replaces the
+     * host-side dynamic_cast per concrete prefetcher type.
+     */
+    virtual void attachSystemProbes(const SystemProbes &) {}
 };
 
 /** A prefetcher that never prefetches (the NoPrefetch baseline). */
-class NullPrefetcher : public Prefetcher
+class NullPrefetcher final : public Prefetcher
 {
   public:
     void

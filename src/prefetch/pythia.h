@@ -79,7 +79,7 @@ struct PythiaConfig
  * otherwise. Updates follow the SARSA rule using the next retired
  * entry as (s', a').
  */
-class PythiaPrefetcher : public Prefetcher
+class PythiaPrefetcher final : public Prefetcher
 {
   public:
     explicit PythiaPrefetcher(const PythiaConfig &config = {});
@@ -108,6 +108,14 @@ class PythiaPrefetcher : public Prefetcher
     setBandwidthProbe(std::function<double(uint64_t)> probe)
     {
         bwProbe_ = std::move(probe);
+    }
+
+    /** Takes the DRAM utilization probe, when offered. */
+    void
+    attachSystemProbes(const SystemProbes &probes) override
+    {
+        if (probes.dramUtilization)
+            setBandwidthProbe(probes.dramUtilization);
     }
 
     /** Per-action selection counts (Figure 2 histogram). */

@@ -15,7 +15,7 @@ namespace mab {
  * turns the prefetcher off; the Bandit programs the degree through a
  * programmable register (Section 5.2).
  */
-class StreamPrefetcher : public Prefetcher
+class StreamPrefetcher final : public Prefetcher
 {
   public:
     explicit StreamPrefetcher(int num_trackers = 64);

@@ -19,7 +19,7 @@ namespace mab {
  * "Stride" comparison baseline (IP-stride, [23]) is this class with a
  * fixed degree.
  */
-class StridePrefetcher : public Prefetcher
+class StridePrefetcher final : public Prefetcher
 {
   public:
     explicit StridePrefetcher(int num_trackers = 64, int degree = 2);

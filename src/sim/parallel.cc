@@ -1,0 +1,133 @@
+#include "sim/parallel.h"
+
+#include <chrono>
+
+namespace mab {
+
+namespace {
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+int
+SweepRunner::hardwareJobs()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+SweepRunner::SweepRunner(int jobs) : jobs_(jobs < 1 ? 1 : jobs)
+{
+    // jobs - 1 workers: the runAll() caller is the remaining lane, so
+    // jobs == 1 means "no threads at all" (inline fallback).
+    workers_.reserve(static_cast<size_t>(jobs_ - 1));
+    for (int i = 0; i < jobs_ - 1; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+SweepRunner::~SweepRunner()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+bool
+SweepRunner::claimAndRunOne()
+{
+    size_t index;
+    Task *task;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (next_ >= tasks_.size())
+            return false;
+        index = next_++;
+        task = &tasks_[index];
+    }
+
+    const uint64_t start = nowNs();
+    std::exception_ptr error;
+    try {
+        (*task)();
+    } catch (...) {
+        error = std::current_exception();
+    }
+    const uint64_t elapsed = nowNs() - start;
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        taskStats_[index].wallNs = elapsed;
+        if (error)
+            errors_[index] = error;
+        if (++completed_ == tasks_.size())
+            done_.notify_all();
+    }
+    return true;
+}
+
+void
+SweepRunner::workerLoop()
+{
+    uint64_t seenBatch = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_.wait(lock, [&] {
+                return stopping_ || batchId_ != seenBatch;
+            });
+            if (stopping_)
+                return;
+            seenBatch = batchId_;
+        }
+        while (claimAndRunOne()) {
+        }
+    }
+}
+
+void
+SweepRunner::run(std::vector<Task> tasks)
+{
+    const size_t n = tasks.size();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        tasks_ = std::move(tasks);
+        errors_.assign(n, nullptr);
+        taskStats_.assign(n, SweepTaskStats{});
+        next_ = 0;
+        completed_ = 0;
+        ++batchId_;
+    }
+    wake_.notify_all();
+
+    // The caller is a full pool lane: with jobs == 1 this loop IS the
+    // serial sweep (tasks run inline, in order, on this thread).
+    while (claimAndRunOne()) {
+    }
+
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [&] { return completed_ == tasks_.size(); });
+    tasks_.clear();
+
+    for (std::exception_ptr &e : errors_) {
+        if (e) {
+            std::exception_ptr first = e;
+            errors_.clear();
+            std::rethrow_exception(first);
+        }
+    }
+    errors_.clear();
+}
+
+} // namespace mab

@@ -1,0 +1,120 @@
+#ifndef MAB_SIM_PARALLEL_H
+#define MAB_SIM_PARALLEL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mab {
+
+/** Wall-clock cost of one sweep task (submission order). */
+struct SweepTaskStats
+{
+    uint64_t wallNs = 0;
+};
+
+/**
+ * Fixed-size thread pool for embarrassingly parallel simulation
+ * sweeps (the paper's evaluation grid: workload x prefetcher x seed x
+ * config, every point an independent run).
+ *
+ * Guarantees:
+ *  - Results land in submission order regardless of completion order,
+ *    so a parallel sweep aggregates exactly like the serial loop.
+ *  - Every task runs to completion even if an earlier one threw; the
+ *    first exception (by submission order) is rethrown from runAll()
+ *    after the batch has drained, so no work is silently lost and the
+ *    failure surfaced is deterministic.
+ *  - jobs <= 1 degrades to inline execution on the calling thread —
+ *    no threads are created, and task i finishes before task i + 1
+ *    starts, exactly like the pre-pool serial loops.
+ *
+ * Determinism contract: a sweep is reproducible across job counts iff
+ * each task is a pure function of its inputs — every task must own
+ * its trace, prefetcher, RNG and StatsRegistry. The simulators
+ * already satisfy this (runs are pure functions of (app, pf, instr,
+ * hier, dram, seed)); the process-global tracing::Tracer is the one
+ * shared sink, and it is mutex-guarded (see sim/tracing.h) while the
+ * bench harness serializes traced sweeps outright.
+ *
+ * The pool spawns jobs - 1 workers; the thread calling runAll()
+ * participates in the batch, so `jobs` is the true parallel width.
+ */
+class SweepRunner
+{
+  public:
+    /** @p jobs <= 1 selects the inline (threadless) mode. */
+    explicit SweepRunner(int jobs = 1);
+    ~SweepRunner();
+
+    SweepRunner(const SweepRunner &) = delete;
+    SweepRunner &operator=(const SweepRunner &) = delete;
+
+    int jobs() const { return jobs_; }
+
+    using Task = std::function<void()>;
+
+    /**
+     * Run every task, blocking until all have finished. Tasks are
+     * claimed in submission order; with jobs > 1 up to jobs of them
+     * execute concurrently. The first captured exception is rethrown
+     * after the batch drains.
+     */
+    void run(std::vector<Task> tasks);
+
+    /**
+     * Typed fan-out: results[i] = fn(i) for i in [0, n), computed on
+     * the pool, returned in submission order. T must be default-
+     * constructible and movable.
+     */
+    template <typename T, typename Fn>
+    std::vector<T>
+    runAll(size_t n, Fn &&fn)
+    {
+        std::vector<T> results(n);
+        std::vector<Task> tasks;
+        tasks.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            tasks.push_back([&results, &fn, i] { results[i] = fn(i); });
+        run(std::move(tasks));
+        return results;
+    }
+
+    /** Per-task wall-clock of the last run(), in submission order. */
+    const std::vector<SweepTaskStats> &
+    lastTaskStats() const
+    {
+        return taskStats_;
+    }
+
+    /** Job count matching the host (std::thread::hardware_concurrency,
+     *  at least 1). The meaning of `--jobs 0` in the bench harness. */
+    static int hardwareJobs();
+
+  private:
+    void workerLoop();
+    void drainBatch();
+    bool claimAndRunOne();
+
+    int jobs_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable wake_;   ///< workers wait for a batch
+    std::condition_variable done_;   ///< runAll() waits for the drain
+    std::vector<Task> tasks_;        ///< current batch (guarded by mu_)
+    std::vector<std::exception_ptr> errors_;
+    std::vector<SweepTaskStats> taskStats_;
+    size_t next_ = 0;      ///< next unclaimed task index
+    size_t completed_ = 0; ///< tasks finished in the current batch
+    uint64_t batchId_ = 0; ///< bumps per run(); wakes idle workers
+    bool stopping_ = false;
+};
+
+} // namespace mab
+
+#endif // MAB_SIM_PARALLEL_H

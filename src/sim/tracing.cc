@@ -9,8 +9,9 @@ namespace mab::tracing {
 namespace {
 
 /**
- * Open writers, for the crash/exit flush path. The simulators are
- * single-threaded, so a plain vector suffices.
+ * Open writers, for the crash/exit flush path. Trace files are opened
+ * and closed from the harness thread (before/after sweeps), never from
+ * pool workers, so a plain vector suffices.
  */
 std::vector<TraceWriter *> &
 openWriters()
@@ -325,6 +326,7 @@ Tracer::setClock(std::function<uint64_t()> nowNs)
 bool
 Tracer::openTrace(const std::string &path, const json::Value *meta)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     if (!writer_.open(path, meta))
         return false;
     enabled_ = true;
@@ -346,6 +348,7 @@ Tracer::openTrace(const std::string &path, const json::Value *meta)
 bool
 Tracer::openAudit(const std::string &path)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     if (audit_) {
         std::fclose(audit_);
         audit_ = nullptr;
@@ -362,6 +365,7 @@ Tracer::openAudit(const std::string &path)
 void
 Tracer::enableProfile()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     profile_ = true;
     enabled_ = true;
     refreshFastFlags();
@@ -372,6 +376,7 @@ Tracer::enableProfile()
 void
 Tracer::setGranularity(uint64_t cycles)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     if (cycles > 0)
         granularity_ = cycles;
 }
@@ -379,8 +384,9 @@ Tracer::setGranularity(uint64_t cycles)
 void
 Tracer::finalize()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     if (writer_.isOpen()) {
-        emitPhaseSpans();
+        emitPhaseSpansLocked();
         writer_.close();
     }
     if (audit_) {
@@ -393,9 +399,12 @@ Tracer::finalize()
 }
 
 uint64_t
-Tracer::toTs(uint64_t cycle)
+Tracer::toTsLocked(uint64_t cycle)
 {
-    const uint64_t ts = tsOffset_ + cycle;
+    auto it = runScopes_.find(std::this_thread::get_id());
+    const uint64_t offset =
+        it != runScopes_.end() ? it->second.tsOffset : fallbackOffset_;
+    const uint64_t ts = offset + cycle;
     if (ts > maxTs_)
         maxTs_ = ts;
     return ts;
@@ -406,9 +415,11 @@ Tracer::beginRun(const std::string &label)
 {
     if (!enabled_)
         return;
-    tsOffset_ = maxTs_ == 0 ? 0 : maxTs_ + 1;
-    runStartTs_ = tsOffset_;
-    runLabel_ = label;
+    std::lock_guard<std::mutex> lock(mu_);
+    RunScope &scope = runScopes_[std::this_thread::get_id()];
+    scope.tsOffset = maxTs_ == 0 ? 0 : maxTs_ + 1;
+    scope.startTs = scope.tsOffset;
+    scope.label = label;
     ++runIndex_;
 }
 
@@ -417,13 +428,19 @@ Tracer::endRun(uint64_t cycles)
 {
     if (!enabled_)
         return;
-    const uint64_t end = toTs(cycles);
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t end = toTsLocked(cycles);
+    RunScope &scope = runScopes_[std::this_thread::get_id()];
     if (writer_.isOpen()) {
         writer_.completeSpan(kPidCycles, kTidRuns,
-                             runLabel_.empty() ? "run" : runLabel_,
-                             runStartTs_, end - runStartTs_);
+                             scope.label.empty() ? "run" : scope.label,
+                             scope.startTs, end - scope.startTs);
     }
-    runLabel_.clear();
+    // Events emitted between runs keep the last run's frame: the
+    // scope stays mapped (label cleared) and threads without a scope
+    // inherit its offset.
+    scope.label.clear();
+    fallbackOffset_ = scope.tsOffset;
 }
 
 void
@@ -432,21 +449,26 @@ Tracer::counterSample(const std::string &track, uint64_t cycle,
 {
     if (!enabled_)
         return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto scopeIt = runScopes_.find(std::this_thread::get_id());
     const std::string key =
-        runLabel_.empty() ? track : runLabel_ + ":" + track;
+        scopeIt == runScopes_.end() || scopeIt->second.label.empty()
+            ? track
+            : scopeIt->second.label + ":" + track;
     auto it = samples_.find(key);
     if (it == samples_.end())
         it = samples_.emplace(key, TimeSeries()).first;
     it->second.add(static_cast<double>(cycle), value);
 
     if (writer_.isOpen()) {
-        writer_.counter(kPidCycles, key, toTs(cycle), track, value);
-        emitPhaseSpans();
+        writer_.counter(kPidCycles, key, toTsLocked(cycle), track,
+                        value);
+        emitPhaseSpansLocked();
     }
 }
 
 int
-Tracer::agentTid(const BanditStepRecord &rec)
+Tracer::agentTidLocked(const BanditStepRecord &rec)
 {
     auto it = agentTids_.find(rec.agentKey);
     if (it != agentTids_.end())
@@ -465,7 +487,8 @@ Tracer::agentTid(const BanditStepRecord &rec)
 void
 Tracer::banditStep(const BanditStepRecord &rec)
 {
-    const int tid = agentTid(rec);
+    std::lock_guard<std::mutex> lock(mu_);
+    const int tid = agentTidLocked(rec);
     const std::string label =
         rec.algorithm + "#" + std::to_string(tid - kTidBanditBase);
 
@@ -498,8 +521,8 @@ Tracer::banditStep(const BanditStepRecord &rec)
     }
 
     if (writer_.isOpen()) {
-        const uint64_t start = toTs(rec.startCycle);
-        const uint64_t end = toTs(rec.endCycle);
+        const uint64_t start = toTsLocked(rec.startCycle);
+        const uint64_t end = toTsLocked(rec.endCycle);
         json::Value args = json::Value::object();
         args["reward"] = rec.reward;
         args["nextArm"] = rec.nextArm;
@@ -516,13 +539,14 @@ Tracer::banditStep(const BanditStepRecord &rec)
 void
 Tracer::addPhaseTime(Phase p, uint64_t ns)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     PhaseTotals &t = phases_[static_cast<size_t>(p)];
     ++t.count;
     t.totalNs += ns;
 }
 
 void
-Tracer::emitPhaseSpans()
+Tracer::emitPhaseSpansLocked()
 {
     if (!writer_.isOpen())
         return;
@@ -547,6 +571,7 @@ void
 Tracer::exportProfile(StatsRegistry &reg,
                       const std::string &prefix) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     for (size_t p = 0; p < phases_.size(); ++p) {
         const std::string base =
             prefix + "." + phaseName(static_cast<Phase>(p));
@@ -563,6 +588,7 @@ Tracer::exportProfile(StatsRegistry &reg,
 json::Value
 Tracer::profileJson() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     json::Value root = json::Value::object();
     for (size_t p = 0; p < phases_.size(); ++p) {
         json::Value ph = json::Value::object();

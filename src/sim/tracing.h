@@ -6,7 +6,9 @@
 #include <cstdio>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/json.h"
@@ -252,6 +254,14 @@ class Tracer
      * Lay sequential runs out back-to-back on the virtual timeline:
      * shifts the cycle->ts offset past everything emitted so far and
      * names the region @p label. endRun() draws the enclosing span.
+     *
+     * Run scoping is per thread: each thread of a parallel sweep
+     * (sim/parallel.h) gets its own label/offset scope, so counter
+     * samples and bandit steps reported from worker threads attribute
+     * to the right run. All sinks are mutex-guarded; note that with
+     * concurrent runs the virtual-timeline regions interleave, which
+     * is why the bench harness serializes sweeps (--jobs 1) whenever
+     * a trace/audit sink is open (see bench/common.h:benchJobs).
      */
     void beginRun(const std::string &label);
     void endRun(uint64_t cycles);
@@ -305,9 +315,18 @@ class Tracer
     TraceWriter &writer() { return writer_; }
 
   private:
-    void emitPhaseSpans();
-    int agentTid(const BanditStepRecord &rec);
-    uint64_t toTs(uint64_t cycle);
+    // Helpers suffixed "Locked" must be called with mu_ held.
+    void emitPhaseSpansLocked();
+    int agentTidLocked(const BanditStepRecord &rec);
+    uint64_t toTsLocked(uint64_t cycle);
+
+    /** The calling thread's run scope on the virtual timeline. */
+    struct RunScope
+    {
+        uint64_t tsOffset = 0;
+        uint64_t startTs = 0;
+        std::string label;
+    };
 
     bool enabled_ = false;
     bool profile_ = false;
@@ -320,11 +339,20 @@ class Tracer
 
     std::function<uint64_t()> clock_;
 
-    // Virtual-timeline layout of sequential runs.
-    uint64_t tsOffset_ = 0;
+    /**
+     * Serializes every sink (trace writer, audit log, sample store,
+     * phase totals) and the run-scope table. Uncontended in serial
+     * runs and never touched on the tracing-off hot paths (all entry
+     * points are gated on enabled_/profileActive_ before locking).
+     */
+    mutable std::mutex mu_;
+
+    // Virtual-timeline layout of runs: one scope per active thread,
+    // plus the offset of the last ended run so late events (emitted
+    // between runs) keep the previous run's frame, as before.
+    std::map<std::thread::id, RunScope> runScopes_;
     uint64_t maxTs_ = 0;
-    uint64_t runStartTs_ = 0;
-    std::string runLabel_;
+    uint64_t fallbackOffset_ = 0;
     uint64_t runIndex_ = 0;
 
     std::map<std::string, TimeSeries> samples_;

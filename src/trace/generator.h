@@ -115,7 +115,7 @@ struct AppProfile
  * pattern regimes (the stand-in for the DPC-3 / CRC-2 / Pythia trace
  * collections, see DESIGN.md).
  */
-class SyntheticTrace : public TraceSource
+class SyntheticTrace final : public TraceSource
 {
   public:
     explicit SyntheticTrace(AppProfile profile);

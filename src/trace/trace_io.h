@@ -39,7 +39,7 @@ uint64_t recordCount(const std::string &path);
  * the first record when exhausted, like the paper's trace
  * concatenation rule for short traces.
  */
-class FileTrace : public TraceSource
+class FileTrace final : public TraceSource
 {
   public:
     /** Throws std::runtime_error if the file cannot be parsed. */

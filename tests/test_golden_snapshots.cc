@@ -14,6 +14,7 @@
 #include "cpu/multicore.h"
 #include "prefetch/stride.h"
 #include "sim/json.h"
+#include "sim/parallel.h"
 #include "sim/stats_registry.h"
 #include "smt/smt_sim.h"
 #include "trace/suites.h"
@@ -214,38 +215,29 @@ singleCoreSnapshot(const std::string &app_name, Prefetcher &pf,
     return wrap(scenario, reg);
 }
 
-TEST(GoldenSnapshot, SingleCoreStride)
+json::Value
+computeSnapshot(const std::string &scenario)
 {
-    StridePrefetcher pf(64, 1);
-    checkAgainstGolden(
-        "singlecore_stride",
-        singleCoreSnapshot("lbm06", pf, 150'000,
-                           "singlecore_stride"));
-}
+    if (scenario == "singlecore_stride") {
+        StridePrefetcher pf(64, 1);
+        return singleCoreSnapshot("lbm06", pf, 150'000, scenario);
+    }
+    if (scenario == "singlecore_bandit") {
+        BanditPrefetchController pf(scaledBanditConfig());
+        return singleCoreSnapshot("bwaves06", pf, 150'000, scenario,
+                                  &pf);
+    }
+    if (scenario == "smt_bandit") {
+        SmtRunConfig cfg;
+        cfg.maxCycles = 120'000;
+        SmtSimulator sim("gcc", "lbm", cfg);
 
-TEST(GoldenSnapshot, SingleCoreBandit)
-{
-    BanditPrefetchController pf(scaledBanditConfig());
-    checkAgainstGolden(
-        "singlecore_bandit",
-        singleCoreSnapshot("bwaves06", pf, 150'000,
-                           "singlecore_bandit", &pf));
-}
-
-TEST(GoldenSnapshot, SmtBandit)
-{
-    SmtRunConfig cfg;
-    cfg.maxCycles = 120'000;
-    SmtSimulator sim("gcc", "lbm", cfg);
-
-    StatsRegistry reg;
-    reg.setCounter("meta.maxCycles", cfg.maxCycles);
-    sim.runBandit({}, &reg);
-    checkAgainstGolden("smt_bandit", wrap("smt_bandit", reg));
-}
-
-TEST(GoldenSnapshot, MultiCoreShared)
-{
+        StatsRegistry reg;
+        reg.setCounter("meta.maxCycles", cfg.maxCycles);
+        sim.runBandit({}, &reg);
+        return wrap(scenario, reg);
+    }
+    // "multicore"
     SyntheticTrace t0(appByName("lbm06"));
     SyntheticTrace t1(appByName("mcf06"));
     StridePrefetcher pf0(64, 1);
@@ -260,7 +252,62 @@ TEST(GoldenSnapshot, MultiCoreShared)
     StatsRegistry reg;
     reg.setCounter("meta.instrPerCore", 80'000);
     sys.exportStats(reg, "system");
-    checkAgainstGolden("multicore", wrap("multicore", reg));
+    return wrap(scenario, reg);
+}
+
+/**
+ * All four scenario snapshots, computed once through a SweepRunner —
+ * the suite both parallelizes its slowest runs and doubles as a
+ * concurrency smoke test of the full simulator stack (results must
+ * match the goldens produced by serial runs regardless of jobs).
+ * MAB_BENCH_JOBS overrides the worker count (0 = hardware).
+ */
+const json::Value &
+snapshot(const std::string &scenario)
+{
+    static const std::map<std::string, json::Value> all = [] {
+        const std::vector<std::string> scenarios = {
+            "singlecore_stride",
+            "singlecore_bandit",
+            "smt_bandit",
+            "multicore",
+        };
+        const char *env = std::getenv("MAB_BENCH_JOBS");
+        int jobs = env ? std::atoi(env) : 2;
+        if (jobs == 0)
+            jobs = SweepRunner::hardwareJobs();
+        SweepRunner runner(jobs);
+        std::vector<json::Value> vals = runner.runAll<json::Value>(
+            scenarios.size(),
+            [&](size_t i) { return computeSnapshot(scenarios[i]); });
+        std::map<std::string, json::Value> map;
+        for (size_t i = 0; i < scenarios.size(); ++i)
+            map.emplace(scenarios[i], std::move(vals[i]));
+        return map;
+    }();
+    return all.at(scenario);
+}
+
+TEST(GoldenSnapshot, SingleCoreStride)
+{
+    checkAgainstGolden("singlecore_stride",
+                       snapshot("singlecore_stride"));
+}
+
+TEST(GoldenSnapshot, SingleCoreBandit)
+{
+    checkAgainstGolden("singlecore_bandit",
+                       snapshot("singlecore_bandit"));
+}
+
+TEST(GoldenSnapshot, SmtBandit)
+{
+    checkAgainstGolden("smt_bandit", snapshot("smt_bandit"));
+}
+
+TEST(GoldenSnapshot, MultiCoreShared)
+{
+    checkAgainstGolden("multicore", snapshot("multicore"));
 }
 
 TEST(GoldenSnapshot, ExportIsDeterministicWithinProcess)
