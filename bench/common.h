@@ -15,6 +15,8 @@
  * long run).
  */
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -58,26 +60,78 @@ scaled(uint64_t n)
 }
 
 /**
+ * Testable core of argValue(): scan for @p flag and write the token
+ * following it to @p out (nullptr when the flag is absent). Returns ""
+ * on success, else a usage-error message — the flag appearing as the
+ * final token (nothing to consume) or appearing twice (the two values
+ * would silently shadow each other; the old code returned the first
+ * and ignored the rest).
+ */
+inline std::string
+findFlagValue(int argc, char **argv, const char *flag, const char **out)
+{
+    *out = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) != 0)
+            continue;
+        if (i + 1 >= argc)
+            return std::string("usage error: ") + flag +
+                " needs a value";
+        if (*out)
+            return std::string("usage error: duplicate ") + flag;
+        *out = argv[i + 1];
+        ++i; // the flag consumes the next token
+    }
+    return "";
+}
+
+/** Strict base-10 signed parse: the whole token must be a number. */
+inline bool
+parseInt64(const char *text, int64_t *out)
+{
+    if (!text || *text == '\0')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+/** Strict base-10 unsigned parse (seeds; rejects signs and suffixes). */
+inline bool
+parseUint64(const char *text, uint64_t *out)
+{
+    if (!text || *text == '\0' || *text == '-' || *text == '+')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+/**
  * Value following @p flag on the command line, else nullptr. A flag
- * appearing as the final token has no value to return — that is a
- * usage error and exits with status 2 (the old code silently ignored
- * the flag, which turned e.g. a forgotten `--json` path into a run
- * with no report at all).
+ * with no value to return or given more than once is a usage error
+ * and exits with status 2 (the old code silently ignored the flag,
+ * which turned e.g. a forgotten `--json` path into a run with no
+ * report at all).
  */
 inline const char *
 argValue(int argc, char **argv, const char *flag)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], flag) == 0) {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "usage error: %s needs a value\n",
-                             flag);
-                std::exit(2);
-            }
-            return argv[i + 1];
-        }
+    const char *value = nullptr;
+    const std::string err = findFlagValue(argc, argv, flag, &value);
+    if (!err.empty()) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        std::exit(2);
     }
-    return nullptr;
+    return value;
 }
 
 /**
@@ -111,20 +165,44 @@ parallelMeta()
  * task owns its trace, prefetcher, RNG and registry, and results are
  * aggregated in submission order (sim/parallel.h), so `--json` reports
  * are byte-identical across job counts modulo the meta block.
+ *
+ * A negative or non-numeric count is a usage error (exit 2) — the old
+ * code silently clamped `--jobs -3` to 1 and, worse, atoi'd `--jobs
+ * abc` to 0 and fanned out to every hardware thread. resolveJobs() is
+ * the testable core: it reports the error instead of exiting.
  */
+inline std::string
+resolveJobs(int argc, char **argv, const char *env, int *out)
+{
+    *out = 1;
+    const char *v = nullptr;
+    const std::string err = findFlagValue(argc, argv, "--jobs", &v);
+    if (!err.empty())
+        return err;
+    if (!v)
+        v = env;
+    if (!v)
+        return "";
+    int64_t jobs = 0;
+    if (!parseInt64(v, &jobs) || jobs < 0)
+        return std::string("usage error: --jobs needs a non-negative "
+                           "integer, got '") +
+            v + "'";
+    *out = jobs == 0
+        ? SweepRunner::hardwareJobs()
+        : static_cast<int>(std::min<int64_t>(jobs, 1 << 16));
+    return "";
+}
+
 inline int
 benchJobs(int argc, char **argv)
 {
     int jobs = 1;
-    const char *v = argValue(argc, argv, "--jobs");
-    if (!v)
-        v = std::getenv("MAB_BENCH_JOBS");
-    if (v) {
-        jobs = std::atoi(v);
-        if (jobs == 0)
-            jobs = SweepRunner::hardwareJobs();
-        if (jobs < 1)
-            jobs = 1;
+    const std::string err = resolveJobs(
+        argc, argv, std::getenv("MAB_BENCH_JOBS"), &jobs);
+    if (!err.empty()) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        std::exit(2);
     }
     if (jobs > 1 && tracing::Tracer::global().enabled()) {
         std::printf(

@@ -31,6 +31,11 @@ for preset in "${presets[@]}"; do
     else
         ctest --preset "${preset}" -j "${jobs}"
     fi
+    # Differential fuzz smoke (ISSUE 4): the fixed-seed 200-iteration
+    # campaign and the planted-bug self-test, run explicitly so a
+    # label/registration mistake cannot silently drop them from the
+    # suite above.
+    ctest --preset "${preset}" -L fuzz-smoke --output-on-failure
 done
 
 echo "All presets green."

@@ -125,6 +125,13 @@ class MabPolicy
     /** Configuration the policy was built with (introspection). */
     const MabConfig &config() const { return config_; }
 
+    /**
+     * The r_avg divisor fixed at the end of the initial round-robin
+     * phase (1.0 before that, or when normalization is disabled).
+     * Exposed for the differential-fuzzing shadow (sim/fuzz.h).
+     */
+    double rewardNormalizer() const { return rAvg_; }
+
   protected:
     /** Table 3 nextArm(): choose the arm for the next main-loop step. */
     virtual ArmId nextArm() = 0;

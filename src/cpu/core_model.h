@@ -87,6 +87,9 @@ class CoreModel
 
     uint64_t instructions() const { return instructions_; }
 
+    /** Core parameters the model was built with (introspection). */
+    const CoreConfig &config() const { return config_; }
+
     /** Committed cycles so far (the in-order commit clock). */
     uint64_t cycles() const
     {

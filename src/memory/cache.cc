@@ -93,6 +93,15 @@ Cache::invalidate(uint64_t line)
         l->valid = false;
 }
 
+uint64_t
+Cache::occupancy() const
+{
+    uint64_t count = 0;
+    for (const Line &l : lines_)
+        count += l.valid;
+    return count;
+}
+
 void
 Cache::clear()
 {

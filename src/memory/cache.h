@@ -83,6 +83,9 @@ class Cache
     const CacheConfig &config() const { return config_; }
     uint64_t numSets() const { return numSets_; }
 
+    /** Number of valid lines currently resident (diagnostics). */
+    uint64_t occupancy() const;
+
     uint64_t demandHits = 0;
     uint64_t demandMisses = 0;
 

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common.h"
+
+/**
+ * Bench arg-parsing edge cases (ISSUE 4 satellite, extending the PR 3
+ * `argValue` flag-needs-value fix): duplicate flags, negative or
+ * non-numeric `--jobs`, and flags with missing values must produce
+ * usage errors instead of being silently clamped or atoi'd to 0. The
+ * tests target the non-exiting cores (findFlagValue / parseInt64 /
+ * parseUint64 / resolveJobs); the argValue / benchJobs wrappers print
+ * the same message and exit 2.
+ */
+
+namespace mab::bench {
+namespace {
+
+/** argv builder: keeps the strings alive, hands out char* vectors. */
+class Args
+{
+  public:
+    explicit Args(std::vector<std::string> tokens)
+        : tokens_(std::move(tokens))
+    {
+        argv_.push_back(const_cast<char *>("bench"));
+        for (std::string &t : tokens_)
+            argv_.push_back(t.data());
+    }
+
+    int argc() const { return static_cast<int>(argv_.size()); }
+    char **argv() { return argv_.data(); }
+
+  private:
+    std::vector<std::string> tokens_;
+    std::vector<char *> argv_;
+};
+
+TEST(FindFlagValue, ReturnsValueAndNullWhenAbsent)
+{
+    Args args({"--seed", "7", "--shrink"});
+    const char *v = nullptr;
+    EXPECT_EQ(findFlagValue(args.argc(), args.argv(), "--seed", &v),
+              "");
+    ASSERT_NE(v, nullptr);
+    EXPECT_STREQ(v, "7");
+
+    EXPECT_EQ(findFlagValue(args.argc(), args.argv(), "--iters", &v),
+              "");
+    EXPECT_EQ(v, nullptr);
+}
+
+TEST(FindFlagValue, FlagAsFinalTokenIsAUsageError)
+{
+    Args args({"--iters", "10", "--replay"});
+    const char *v = nullptr;
+    const std::string err =
+        findFlagValue(args.argc(), args.argv(), "--replay", &v);
+    EXPECT_NE(err.find("--replay needs a value"), std::string::npos)
+        << err;
+}
+
+TEST(FindFlagValue, DuplicateFlagIsAUsageError)
+{
+    Args args({"--jobs", "2", "--jobs", "4"});
+    const char *v = nullptr;
+    const std::string err =
+        findFlagValue(args.argc(), args.argv(), "--jobs", &v);
+    EXPECT_NE(err.find("duplicate --jobs"), std::string::npos) << err;
+}
+
+TEST(FindFlagValue, FlagValuedWithAFlagLiteralIsConsumed)
+{
+    // The flag consumes the next token verbatim; "--jobs --jobs" is
+    // one occurrence whose (nonsensical) value fails numeric parsing
+    // downstream, not a duplicate.
+    Args args({"--jobs", "--jobs"});
+    const char *v = nullptr;
+    EXPECT_EQ(findFlagValue(args.argc(), args.argv(), "--jobs", &v),
+              "");
+    ASSERT_NE(v, nullptr);
+    EXPECT_STREQ(v, "--jobs");
+}
+
+TEST(StrictParsers, AcceptWholeTokenNumbersOnly)
+{
+    int64_t i = 0;
+    EXPECT_TRUE(parseInt64("42", &i));
+    EXPECT_EQ(i, 42);
+    EXPECT_TRUE(parseInt64("-3", &i));
+    EXPECT_EQ(i, -3);
+    EXPECT_FALSE(parseInt64("", &i));
+    EXPECT_FALSE(parseInt64("abc", &i));
+    EXPECT_FALSE(parseInt64("4x", &i));
+    EXPECT_FALSE(parseInt64(nullptr, &i));
+
+    uint64_t u = 0;
+    EXPECT_TRUE(parseUint64("18446744073709551615", &u));
+    EXPECT_EQ(u, UINT64_MAX);
+    EXPECT_FALSE(parseUint64("-1", &u));
+    EXPECT_FALSE(parseUint64("+1", &u));
+    EXPECT_FALSE(parseUint64("1.5", &u));
+    EXPECT_FALSE(parseUint64("99999999999999999999999", &u));
+}
+
+TEST(ResolveJobs, DefaultsToSerial)
+{
+    Args args({});
+    int jobs = 0;
+    EXPECT_EQ(resolveJobs(args.argc(), args.argv(), nullptr, &jobs),
+              "");
+    EXPECT_EQ(jobs, 1);
+}
+
+TEST(ResolveJobs, FlagAndEnvSelectTheCount)
+{
+    Args args({"--jobs", "3"});
+    int jobs = 0;
+    EXPECT_EQ(resolveJobs(args.argc(), args.argv(), "8", &jobs), "");
+    EXPECT_EQ(jobs, 3) << "the flag outranks the environment";
+
+    Args noflag({});
+    EXPECT_EQ(resolveJobs(noflag.argc(), noflag.argv(), "8", &jobs),
+              "");
+    EXPECT_EQ(jobs, 8);
+}
+
+TEST(ResolveJobs, ZeroStillSelectsHardwareConcurrency)
+{
+    // Documented behavior: --jobs 0 = hardware concurrency. Only
+    // negative and non-numeric counts are usage errors.
+    Args args({"--jobs", "0"});
+    int jobs = 0;
+    EXPECT_EQ(resolveJobs(args.argc(), args.argv(), nullptr, &jobs),
+              "");
+    EXPECT_EQ(jobs, SweepRunner::hardwareJobs());
+    EXPECT_GE(jobs, 1);
+}
+
+TEST(ResolveJobs, NegativeCountIsAUsageError)
+{
+    Args args({"--jobs", "-3"});
+    int jobs = 0;
+    const std::string err =
+        resolveJobs(args.argc(), args.argv(), nullptr, &jobs);
+    EXPECT_NE(err.find("usage error"), std::string::npos) << err;
+    EXPECT_EQ(jobs, 1) << "the out-param stays at the safe default";
+}
+
+TEST(ResolveJobs, NonNumericCountIsAUsageError)
+{
+    // The old code atoi'd this to 0 and silently fanned out to every
+    // hardware thread.
+    Args args({"--jobs", "many"});
+    int jobs = 0;
+    const std::string err =
+        resolveJobs(args.argc(), args.argv(), nullptr, &jobs);
+    EXPECT_NE(err.find("usage error"), std::string::npos) << err;
+    EXPECT_EQ(jobs, 1);
+}
+
+TEST(ResolveJobs, NegativeEnvironmentIsAUsageErrorToo)
+{
+    Args args({});
+    int jobs = 0;
+    const std::string err =
+        resolveJobs(args.argc(), args.argv(), "-2", &jobs);
+    EXPECT_NE(err.find("usage error"), std::string::npos) << err;
+}
+
+TEST(ResolveJobs, DuplicateFlagIsAUsageError)
+{
+    Args args({"--jobs", "2", "--jobs", "4"});
+    int jobs = 0;
+    const std::string err =
+        resolveJobs(args.argc(), args.argv(), nullptr, &jobs);
+    EXPECT_NE(err.find("duplicate --jobs"), std::string::npos) << err;
+}
+
+} // namespace
+} // namespace mab::bench

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "memory/cache.h"
+#include "sim/fuzz.h"
 #include "sim/rng.h"
 #include "trace/record.h"
 
@@ -205,6 +206,121 @@ INSTANTIATE_TEST_SUITE_P(
     Geometries, CacheGeometryTest,
     ::testing::Combine(::testing::Values(4, 32, 256),
                        ::testing::Values(1, 4, 8, 16)));
+
+// ---------------------------------------------------------------------------
+// Degenerate geometries (ISSUE 4 satellite): the PR 3 single-pass
+// fill probe has its boundary behavior at 1-way (no LRU scan to
+// speak of), 1-set (every line conflicts) and single-line caches.
+// Each geometry is driven op-for-op against the textbook reference
+// model as a fixed regression test, not just fuzz coverage.
+
+/** Run a deterministic conflict-heavy op mix through mab::Cache and
+ *  fuzz::ReferenceCache and require op-for-op agreement. */
+void
+diffDegenerateGeometry(int ways, uint64_t sets, uint64_t seed)
+{
+    fuzz::CacheCase c;
+    c.config.name = "degenerate";
+    c.config.ways = ways;
+    c.config.sizeBytes = kLineBytes * ways * sets;
+    c.config.hitLatency = 2;
+
+    Rng rng(seed);
+    const uint64_t capacity = sets * static_cast<uint64_t>(ways);
+    const uint64_t pool = capacity * 2 + 2;
+    uint64_t cycle = 0;
+    for (int i = 0; i < 800; ++i) {
+        cycle += rng.below(6);
+        fuzz::CacheOp op;
+        op.line = rng.below(pool) * kLineBytes;
+        const uint64_t kind = rng.below(100);
+        if (kind < 40) {
+            op.kind = fuzz::CacheOp::Kind::Lookup;
+            op.cycle = cycle;
+        } else if (kind < 65) {
+            op.kind = fuzz::CacheOp::Kind::DemandFill;
+            op.cycle = cycle + rng.below(200);
+        } else if (kind < 80) {
+            op.kind = fuzz::CacheOp::Kind::PrefetchFill;
+            op.cycle = cycle + rng.below(200);
+        } else if (kind < 90) {
+            op.kind = fuzz::CacheOp::Kind::Invalidate;
+        } else {
+            op.kind = fuzz::CacheOp::Kind::Contains;
+            op.cycle = cycle;
+        }
+        c.ops.push_back(op);
+    }
+    EXPECT_EQ(fuzz::diffCacheCase(c), "")
+        << ways << " ways x " << sets << " sets, seed " << seed;
+}
+
+TEST(CacheDegenerateGeometry, OneWayDirectMapped)
+{
+    // 1-way: the victim is always the only way; recency never decides.
+    diffDegenerateGeometry(1, 16, 101);
+}
+
+TEST(CacheDegenerateGeometry, OneSetFullyAssociative)
+{
+    // 1-set: every line conflicts; pure LRU across all ways.
+    diffDegenerateGeometry(8, 1, 202);
+}
+
+TEST(CacheDegenerateGeometry, SingleLineCache)
+{
+    // 1 set x 1 way: every distinct line evicts the previous one.
+    diffDegenerateGeometry(1, 1, 303);
+}
+
+TEST(CacheDegenerateGeometry, WaysExceedResidentLines)
+{
+    // More ways than the op stream has distinct lines: the fill path
+    // must keep reusing invalid ways and never evict a valid line
+    // prematurely.
+    fuzz::CacheCase c;
+    c.config.name = "wide";
+    c.config.ways = 16;
+    c.config.sizeBytes = kLineBytes * 16; // one 16-way set
+    c.config.hitLatency = 2;
+    for (int i = 0; i < 6; ++i)
+        c.ops.push_back({fuzz::CacheOp::Kind::DemandFill,
+                         static_cast<uint64_t>(i) * kLineBytes,
+                         10});
+    for (int i = 0; i < 6; ++i)
+        c.ops.push_back({fuzz::CacheOp::Kind::Lookup,
+                         static_cast<uint64_t>(i) * kLineBytes,
+                         20});
+    EXPECT_EQ(fuzz::diffCacheCase(c), "");
+
+    Cache wide(c.config);
+    for (int i = 0; i < 6; ++i) {
+        const auto evict = wide.fill(
+            static_cast<uint64_t>(i) * kLineBytes, 10, false);
+        EXPECT_FALSE(evict.evictedValid)
+            << "eviction with " << (16 - i) << " invalid ways free";
+    }
+    EXPECT_EQ(wide.occupancy(), 6u);
+}
+
+TEST(CacheDegenerateGeometry, SingleLineEvictionChain)
+{
+    // Fixed regression for the fused probe's hit-vs-victim ordering:
+    // on a single-line cache, filling A, B, A must evict A then B,
+    // and a re-fill of the resident line must not evict anything.
+    CacheConfig cfg{"one", kLineBytes, 1, 2};
+    Cache c(cfg);
+    EXPECT_FALSE(c.fill(0x0, 5, false).evictedValid);
+    const auto e1 = c.fill(0x40, 6, false);
+    EXPECT_TRUE(e1.evictedValid);
+    EXPECT_EQ(e1.evictedLine, 0x0u);
+    const auto e2 = c.fill(0x40, 7, false);
+    EXPECT_FALSE(e2.evictedValid) << "re-fill of the resident line";
+    const auto e3 = c.fill(0x0, 8, true);
+    EXPECT_TRUE(e3.evictedValid);
+    EXPECT_EQ(e3.evictedLine, 0x40u);
+    EXPECT_EQ(c.occupancy(), 1u);
+}
 
 } // namespace
 } // namespace mab
