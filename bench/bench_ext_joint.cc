@@ -27,8 +27,8 @@ runJoint(const AppProfile &app, uint64_t instr)
     hw.stepUnits = 125;
 
     JointBanditController ctrl(MabAlgorithm::Ducb, mab, hw);
-    SyntheticTrace trace(app);
-    CoreModel core(CoreConfig{}, HierarchyConfig{}, trace,
+    const auto trace = makeRunSource(app, instr);
+    CoreModel core(CoreConfig{}, HierarchyConfig{}, *trace,
                    ctrl.l2View(), ctrl.l1View());
     core.run(instr);
     return core.ipc();
@@ -37,10 +37,10 @@ runJoint(const AppProfile &app, uint64_t instr)
 double
 runSplit(const AppProfile &app, uint64_t instr)
 {
-    SyntheticTrace trace(app);
+    const auto trace = makeRunSource(app, instr);
     auto l1 = makePrefetcher("Stride", app.seed);
     auto l2 = makePrefetcher("Bandit", app.seed);
-    CoreModel core(CoreConfig{}, HierarchyConfig{}, trace, l2.get(),
+    CoreModel core(CoreConfig{}, HierarchyConfig{}, *trace, l2.get(),
                    l1.get());
     core.run(instr);
     return core.ipc();

@@ -27,11 +27,11 @@ struct Combo
 double
 runCombo(const AppProfile &app, const Combo &combo, uint64_t instr)
 {
-    SyntheticTrace trace(app);
+    const auto trace = makeRunSource(app, instr);
     auto l1 = combo.l1.empty() ? nullptr
                                : makePrefetcher(combo.l1, app.seed);
     auto l2 = makePrefetcher(combo.l2, app.seed);
-    CoreModel core(CoreConfig{}, HierarchyConfig{}, trace, l2.get(),
+    CoreModel core(CoreConfig{}, HierarchyConfig{}, *trace, l2.get(),
                    l1.get());
     core.run(instr);
     return core.ipc();

@@ -24,6 +24,7 @@
 #include "prefetch/stride.h"
 #include "sim/rng.h"
 #include "trace/generator.h"
+#include "trace/replay.h"
 #include "trace/suites.h"
 
 using namespace mab;
@@ -145,5 +146,75 @@ BM_CoreStepNoPrefetch(benchmark::State &state)
     runCoreChunks(state, nullptr);
 }
 BENCHMARK(BM_CoreStepNoPrefetch)->UseRealTime();
+
+/**
+ * Live trace generation: SyntheticTrace::next() alone — RNG draws,
+ * phase machinery, stream cursors. The per-record cost every run pays
+ * without the arena.
+ */
+static void
+BM_GeneratorNext(benchmark::State &state)
+{
+    SyntheticTrace trace(appByName("lbm06"));
+    for (auto _ : state) {
+        const TraceRecord rec = trace.next();
+        benchmark::DoNotOptimize(rec);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["ns/record"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_GeneratorNext)->UseRealTime();
+
+/**
+ * Materialized replay: ReplaySource::next() — a bounds check, one
+ * 16-byte load and a flag unpack. The per-record cost with an arena
+ * hit; compare against BM_GeneratorNext for the per-record saving.
+ */
+static void
+BM_ReplayNext(benchmark::State &state)
+{
+    const auto trace =
+        MaterializedTrace::generate(appByName("lbm06"), 1 << 20);
+    ReplaySource src(trace);
+    for (auto _ : state) {
+        if (src.position() >= src.size())
+            src.reset();
+        const TraceRecord rec = src.next();
+        benchmark::DoNotOptimize(rec);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["ns/record"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_ReplayNext)->UseRealTime();
+
+/**
+ * Run construction on an arena hit: what a sweep task pays to get its
+ * trace source once a sibling task has materialized the workload —
+ * a fingerprint, one map lookup and a shared_ptr copy, instead of
+ * regenerating the records.
+ */
+static void
+BM_ArenaHitRunConstruction(benchmark::State &state)
+{
+    TraceArena &arena = TraceArena::global();
+    arena.clear();
+    const AppProfile app = appByName("lbm06");
+    constexpr uint64_t kInstr = 1 << 16;
+    arena.acquireTrace(app, kInstr); // warm: every iteration hits
+    for (auto _ : state) {
+        const auto src = makeRunSource(app, kInstr);
+        benchmark::DoNotOptimize(src.get());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["ns/run"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+    arena.clear();
+}
+BENCHMARK(BM_ArenaHitRunConstruction)->UseRealTime();
 
 BENCHMARK_MAIN();

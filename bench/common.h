@@ -36,6 +36,7 @@
 #include "sim/parallel.h"
 #include "sim/stats.h"
 #include "sim/tracing.h"
+#include "trace/replay.h"
 #include "trace/suites.h"
 
 namespace mab::bench {
@@ -333,6 +334,18 @@ runMetaJson(int argc, char **argv)
         wall.push(ms);
     par["taskWallMs"] = std::move(wall);
     meta["parallel"] = std::move(par);
+
+    const TraceArena::Stats arena = TraceArena::global().stats();
+    json::Value ar = json::Value::object();
+    ar["enabled"] = arena.enabled;
+    ar["hits"] = arena.hits;
+    ar["misses"] = arena.misses;
+    ar["evictions"] = arena.evictions;
+    ar["entries"] = arena.entries;
+    ar["bytes"] = arena.bytes;
+    ar["budgetBytes"] = arena.budgetBytes;
+    ar["genMs"] = arena.genMs;
+    meta["traceArena"] = std::move(ar);
     return meta;
 }
 
@@ -361,6 +374,14 @@ class TracingSession
   public:
     TracingSession(int argc, char **argv)
     {
+        // Valueless flag, so scanned directly (argValue consumes the
+        // token after the flag). MAB_TRACE_ARENA=0 is parsed by the
+        // arena itself on first use.
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--no-trace-cache") == 0)
+                TraceArena::global().setEnabled(false);
+        }
+
         tracing::Tracer &tracer = tracing::Tracer::global();
 
         const char *granularity =
@@ -532,8 +553,13 @@ runPrefetch(const AppProfile &app, Prefetcher &pf, uint64_t instr,
     AppProfile seeded = app;
     if (seed != 0)
         seeded.seed = seed;
-    SyntheticTrace trace(seeded);
-    CoreModel core(CoreConfig{}, hier, trace, &pf, nullptr, dram);
+    // Arena on: replay the workload's materialized records (generated
+    // once per (profile, instr) across the whole sweep). Arena off:
+    // a private live generator, the pre-arena behavior. Either way the
+    // core consumes byte-identical records (trace/replay.h).
+    const std::unique_ptr<TraceSource> trace =
+        makeRunSource(seeded, instr);
+    CoreModel core(CoreConfig{}, hier, *trace, &pf, nullptr, dram);
 
     // Scope this run on the trace timeline ("app/prefetcher"), so a
     // whole bench sweep reads as back-to-back regions in Perfetto.

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Records the repo's perf trajectory for the sweep engine: end-to-end
+# wall-clock of the fig8 / fig13 / table8 sweeps at 1% scale, with the
+# trace arena on vs off, at 1 and 4 jobs. Emits BENCH_sweeps.json.
+#
+# Methodology: for each (sweep, jobs) cell the on/off legs are
+# interleaved (on, off, on, off, ...) so slow drift in host load hits
+# both legs equally, and the summary reports both the min and the
+# median of the per-leg times. On a shared box prefer the min — it is
+# the closest observable to the noise-free cost.
+#
+# Usage:
+#   scripts/bench_baseline.sh <build-bench-dir> [out.json]
+#
+# Environment:
+#   MAB_BASELINE_REPS   repetitions per leg (default 5)
+#   MAB_BENCH_SCALE     sweep scale (default 0.01)
+set -euo pipefail
+
+bench_dir=${1:?usage: bench_baseline.sh <build-bench-dir> [out.json]}
+out=${2:-BENCH_sweeps.json}
+reps=${MAB_BASELINE_REPS:-5}
+export MAB_BENCH_SCALE=${MAB_BENCH_SCALE:-0.01}
+
+sweeps=(bench_fig8_singlecore bench_fig13_smt_scurve
+    bench_table8_prefetch_algos)
+jobs_list=(1 4)
+
+now_ms() {
+    echo $((($(date +%s%N)) / 1000000))
+}
+
+# run_leg <exe> <jobs> <arena:on|off> -> wall ms on stdout
+run_leg() {
+    local exe=$1 jobs=$2 arena=$3 t0 t1
+    t0=$(now_ms)
+    if [ "$arena" = off ]; then
+        MAB_BENCH_JOBS=$jobs MAB_TRACE_ARENA=0 "$exe" >/dev/null
+    else
+        MAB_BENCH_JOBS=$jobs "$exe" >/dev/null
+    fi
+    t1=$(now_ms)
+    echo $((t1 - t0))
+}
+
+results=$(mktemp)
+trap 'rm -f "$results"' EXIT
+
+for sweep in "${sweeps[@]}"; do
+    exe="$bench_dir/$sweep"
+    [ -x "$exe" ] || {
+        echo "missing binary: $exe" >&2
+        exit 1
+    }
+    for jobs in "${jobs_list[@]}"; do
+        on_ms=() off_ms=()
+        for ((r = 0; r < reps; ++r)); do
+            on_ms+=("$(run_leg "$exe" "$jobs" on)")
+            off_ms+=("$(run_leg "$exe" "$jobs" off)")
+        done
+        echo "$sweep jobs=$jobs on: ${on_ms[*]} | off: ${off_ms[*]}" >&2
+        echo "$sweep $jobs ${on_ms[*]} | ${off_ms[*]}" >>"$results"
+    done
+done
+
+python3 - "$results" "$out" "$reps" "$MAB_BENCH_SCALE" <<'EOF'
+import json
+import statistics
+import subprocess
+import sys
+
+results_path, out_path, reps = sys.argv[1], sys.argv[2], int(sys.argv[3])
+scale = float(sys.argv[4])
+
+sweeps = []
+with open(results_path) as f:
+    for line in f:
+        name, jobs, rest = line.split(maxsplit=2)
+        on_part, off_part = rest.split("|")
+        on = [int(x) for x in on_part.split()]
+        off = [int(x) for x in off_part.split()]
+        saving = lambda a, b: round(100.0 * (b - a) / b, 1) if b else 0.0
+        sweeps.append({
+            "sweep": name,
+            "jobs": int(jobs),
+            "arenaOnMs": on,
+            "arenaOffMs": off,
+            "minOnMs": min(on),
+            "minOffMs": min(off),
+            "medianOnMs": statistics.median(on),
+            "medianOffMs": statistics.median(off),
+            "savingPctMin": saving(min(on), min(off)),
+            "savingPctMedian": saving(statistics.median(on),
+                                      statistics.median(off)),
+        })
+
+date = subprocess.run(["date", "-u", "+%Y-%m-%dT%H:%M:%SZ"],
+                      capture_output=True, text=True).stdout.strip()
+nproc = subprocess.run(["nproc"], capture_output=True,
+                       text=True).stdout.strip()
+doc = {
+    "schema": "mab-bench-sweeps-v1",
+    "generatedUtc": date,
+    "host": {"nproc": int(nproc or 1)},
+    "scale": scale,
+    "repsPerLeg": reps,
+    "methodology": ("interleaved on/off legs per cell; min is the "
+                    "noise-resistant statistic on a shared host"),
+    "sweeps": sweeps,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+for s in sweeps:
+    print(f"  {s['sweep']:<28} jobs={s['jobs']}  "
+          f"min {s['minOnMs']}/{s['minOffMs']} ms  "
+          f"saving {s['savingPctMin']}% (median {s['savingPctMedian']}%)")
+EOF

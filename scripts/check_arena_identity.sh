@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Arena identity gate: the trace arena must change nothing observable.
+#
+# For each sweep binary this runs the same configuration twice — arena
+# on (default) and arena off (MAB_TRACE_ARENA=0) — and asserts:
+#
+#   1. stdout is byte-identical between the two legs, and
+#   2. for binaries that emit a --json report, the reports are
+#      byte-identical after dropping the top-level "meta" block
+#      (which by design records run-local facts: wall-clock samples,
+#      the command line, and the arena hit/miss counters themselves).
+#
+# Usage:
+#   scripts/check_arena_identity.sh <build-bench-dir> [jobs] [bench...]
+#
+# With no [bench...] arguments, every bench-smoke sweep from
+# bench/CMakeLists.txt is checked. Scale defaults to the smoke scale
+# (MAB_BENCH_SCALE=0.01); override via the environment.
+set -euo pipefail
+
+bench_dir=${1:?usage: check_arena_identity.sh <build-bench-dir> [jobs] [bench...]}
+jobs=${2:-1}
+if [ $# -ge 2 ]; then shift 2; else shift 1; fi
+
+benches=("$@")
+if [ ${#benches[@]} -eq 0 ]; then
+    benches=(
+        bench_fig2_pythia_actions bench_fig5_pg_policy_space
+        bench_fig7_exploration bench_fig8_singlecore
+        bench_fig9_timeliness bench_fig10_bandwidth
+        bench_fig11_altcache bench_fig12_multilevel
+        bench_fig13_smt_scurve bench_fig14_fourcore
+        bench_fig15_rename bench_table8_prefetch_algos
+        bench_table9_smt_algos bench_ablation_hparams
+        bench_ablation_normalization bench_ablation_rrrestart
+        bench_ablation_step bench_ext_algorithms bench_ext_joint
+    )
+fi
+
+export MAB_BENCH_SCALE=${MAB_BENCH_SCALE:-0.01}
+export MAB_BENCH_JOBS=$jobs
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# Binaries whose writeJsonReport() path is wired up (grep
+# writeJsonReport bench/*.cc to regenerate this list).
+json_capable() {
+    case "$1" in
+    bench_fig8_singlecore | bench_fig9_timeliness | \
+        bench_table8_prefetch_algos | bench_table9_smt_algos)
+        return 0
+        ;;
+    esac
+    return 1
+}
+
+strip_meta() {
+    python3 - "$1" "$2" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+doc.pop("meta", None)
+with open(sys.argv[2], "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+EOF
+}
+
+fail=0
+for b in "${benches[@]}"; do
+    exe="$bench_dir/$b"
+    if [ ! -x "$exe" ]; then
+        echo "MISSING  $b (not built at $exe)" >&2
+        fail=1
+        continue
+    fi
+
+    json_args=()
+    if json_capable "$b"; then
+        json_args=(--json "$tmp/$b.on.json")
+    fi
+    "$exe" "${json_args[@]}" >"$tmp/$b.on.txt" 2>&1
+
+    if json_capable "$b"; then
+        json_args=(--json "$tmp/$b.off.json")
+    fi
+    MAB_TRACE_ARENA=0 "$exe" "${json_args[@]}" >"$tmp/$b.off.txt" 2>&1
+
+    # The json-report path prints its destination; mask it so stdout
+    # compares clean while the reports are diffed separately below.
+    sed -i "s#$tmp/$b\.\(on\|off\)\.json#<json>#" \
+        "$tmp/$b.on.txt" "$tmp/$b.off.txt"
+
+    ok=1
+    if ! cmp -s "$tmp/$b.on.txt" "$tmp/$b.off.txt"; then
+        echo "DIFF     $b: stdout differs arena on vs off (jobs=$jobs)" >&2
+        diff "$tmp/$b.on.txt" "$tmp/$b.off.txt" | head -20 >&2 || true
+        ok=0
+    fi
+    if json_capable "$b"; then
+        strip_meta "$tmp/$b.on.json" "$tmp/$b.on.stripped.json"
+        strip_meta "$tmp/$b.off.json" "$tmp/$b.off.stripped.json"
+        if ! cmp -s "$tmp/$b.on.stripped.json" \
+            "$tmp/$b.off.stripped.json"; then
+            echo "DIFF     $b: --json report differs arena on vs off" \
+                "(jobs=$jobs, modulo meta)" >&2
+            diff "$tmp/$b.on.stripped.json" \
+                "$tmp/$b.off.stripped.json" | head -20 >&2 || true
+            ok=0
+        fi
+    fi
+
+    if [ "$ok" -eq 1 ]; then
+        echo "IDENTICAL  $b (jobs=$jobs)"
+    else
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "arena identity check FAILED" >&2
+    exit 1
+fi
+echo "arena identity check passed: ${#benches[@]} sweep(s), jobs=$jobs"

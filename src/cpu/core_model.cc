@@ -35,6 +35,7 @@ CoreModel::cacheConcreteTypes()
 {
     // One dynamic_cast per simulator instead of one indirect call per
     // instruction (see the member comment in core_model.h).
+    replayTrace_ = dynamic_cast<ReplaySource *>(&trace_);
     synthTrace_ = dynamic_cast<SyntheticTrace *>(&trace_);
     banditL2_ = dynamic_cast<BanditPrefetchController *>(l2Prefetcher_);
 }
@@ -62,15 +63,77 @@ CoreModel::issuePrefetchesT(const PrefetchAccess &access, bool at_l1)
     }
 }
 
+namespace {
+
+/** Accessor facade over an unpacked TraceRecord (live sources). */
+struct LiveRec
+{
+    TraceRecord r;
+    uint64_t pc() const { return r.pc; }
+    uint64_t addr() const { return r.addr; }
+    bool isMemory() const { return r.isMemory(); }
+    bool isLoad() const { return r.isLoad; }
+    bool isStore() const { return r.isStore; }
+    bool dependsOnPrevLoad() const { return r.dependsOnPrevLoad; }
+    bool
+    mispredictedBranch() const
+    {
+        return r.isBranch && r.mispredicted;
+    }
+};
+
+/** Accessor facade over a PackedRecord (replay): two registers, and
+ *  every flag read is a bit test — the record is never unpacked. */
+struct PackedRec
+{
+    PackedRecord p;
+    uint64_t pc() const { return p.pcFlags & PackedRecord::kPcMask; }
+    uint64_t addr() const { return p.addr; }
+    bool
+    isMemory() const
+    {
+        return (p.pcFlags &
+                (PackedRecord::kLoad | PackedRecord::kStore)) != 0;
+    }
+    bool isLoad() const { return (p.pcFlags & PackedRecord::kLoad) != 0; }
+    bool
+    isStore() const
+    {
+        return (p.pcFlags & PackedRecord::kStore) != 0;
+    }
+    bool
+    dependsOnPrevLoad() const
+    {
+        return (p.pcFlags & PackedRecord::kDependsOnPrevLoad) != 0;
+    }
+    bool
+    mispredictedBranch() const
+    {
+        constexpr uint64_t both =
+            PackedRecord::kBranch | PackedRecord::kMispredicted;
+        return (p.pcFlags & both) == both;
+    }
+};
+
+} // namespace
+
 template <bool Profiled>
 void
 CoreModel::stepOneT()
 {
+    const TraceRecord rec = replayTrace_ ? replayTrace_->next()
+        : synthTrace_                    ? synthTrace_->next()
+                                         : trace_.next();
+    stepRecT<Profiled>(LiveRec{rec});
+}
+
+template <bool Profiled, class Rec>
+void
+CoreModel::stepRecT(const Rec &rec)
+{
     std::conditional_t<Profiled, tracing::ScopedPhase,
                        tracing::NoopPhase>
         phase(tracing::Phase::CoreTick);
-    const TraceRecord rec =
-        synthTrace_ ? synthTrace_->next() : trace_.next();
     const size_t slot = instructions_ %
         static_cast<size_t>(config_.robSize);
 
@@ -85,12 +148,12 @@ CoreModel::stepOneT()
     double complete = dispatch + 1.0;
     if (rec.isMemory()) {
         uint64_t issue_cycle = static_cast<uint64_t>(dispatch);
-        if (rec.dependsOnPrevLoad)
+        if (rec.dependsOnPrevLoad())
             issue_cycle = std::max(issue_cycle, prevLoadDone_);
 
         const auto res = hierarchy_.demandAccessT<Profiled>(
-            rec.addr, rec.isStore, issue_cycle);
-        if (rec.isLoad) {
+            rec.addr(), rec.isStore(), issue_cycle);
+        if (rec.isLoad()) {
             complete = std::max(complete,
                                 static_cast<double>(res.readyCycle));
             prevLoadDone_ = res.readyCycle;
@@ -99,8 +162,8 @@ CoreModel::stepOneT()
 
         if (l2Prefetcher_ && res.level != HitLevel::L1) {
             PrefetchAccess pa;
-            pa.pc = rec.pc;
-            pa.addr = rec.addr;
+            pa.pc = rec.pc();
+            pa.addr = rec.addr();
             pa.hit = res.level == HitLevel::L2;
             pa.cycle = issue_cycle;
             pa.instrCount = instructions_;
@@ -108,8 +171,8 @@ CoreModel::stepOneT()
         }
         if (l1Prefetcher_) {
             PrefetchAccess pa;
-            pa.pc = rec.pc;
-            pa.addr = rec.addr;
+            pa.pc = rec.pc();
+            pa.addr = rec.addr();
             pa.hit = res.level == HitLevel::L1;
             pa.cycle = issue_cycle;
             pa.instrCount = instructions_;
@@ -117,7 +180,7 @@ CoreModel::stepOneT()
         }
     }
 
-    if (rec.isBranch && rec.mispredicted) {
+    if (rec.mispredictedBranch()) {
         frontendStallUntil_ = static_cast<uint64_t>(complete) +
             config_.branchMissPenalty;
     }
@@ -142,7 +205,15 @@ CoreModel::runTo(uint64_t instructions, uint64_t granularity)
     if (granularity == 0) {
         // The baseline loop: no sampling and (for the unprofiled
         // instantiation) no phase timers, no per-step dispatch branch
-        // anywhere down the call chain.
+        // anywhere down the call chain. With a ReplaySource the loop
+        // consumes packed records directly — no unpacked TraceRecord
+        // ever exists on the replay path.
+        if (replayTrace_) {
+            while (instructions_ < instructions)
+                stepRecT<Profiled>(
+                    PackedRec{replayTrace_->nextPacked()});
+            return;
+        }
         while (instructions_ < instructions)
             stepOneT<Profiled>();
         return;

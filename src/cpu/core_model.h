@@ -8,6 +8,7 @@
 #include "prefetch/prefetcher.h"
 #include "sim/tracing.h"
 #include "trace/generator.h"
+#include "trace/replay.h"
 
 namespace mab {
 
@@ -134,6 +135,15 @@ class CoreModel
      * in core_model.cc with explicit instantiations for both flavors.
      */
     template <bool Profiled> void stepOneT();
+
+    /**
+     * The step body, templated on a record *view* so the replay loop
+     * feeds PackedRecords straight through (flag reads compile to bit
+     * tests on one register) while every other source goes through
+     * the unpacked TraceRecord facade. Views live in core_model.cc.
+     */
+    template <bool Profiled, class Rec> void stepRecT(const Rec &rec);
+
     template <bool Profiled>
     void issuePrefetchesT(const PrefetchAccess &access, bool at_l1);
 
@@ -174,12 +184,16 @@ class CoreModel
      * Devirtualization caches, resolved once at construction: the two
      * virtual calls on the per-instruction path are trace_.next() and
      * l2Prefetcher_->onAccess(). When the dynamic types are the common
-     * ones (SyntheticTrace; BanditPrefetchController, the paper's
-     * subject), the hot loop calls them through these pointers — both
-     * classes are final, so the calls are direct and inlinable. Other
-     * dynamic types (FileTrace, the comparison prefetchers) fall back
-     * to the virtual call.
+     * ones (ReplaySource / SyntheticTrace; BanditPrefetchController,
+     * the paper's subject), the hot loop calls them through these
+     * pointers — the classes are final, so the calls are direct and
+     * inlinable. ReplaySource::next() is an in-header buffer load, so
+     * with the trace arena on the per-instruction trace cost collapses
+     * to a bounds check and a 16-byte unpack. Other dynamic types
+     * (FileTrace, the comparison prefetchers) fall back to the virtual
+     * call.
      */
+    ReplaySource *replayTrace_ = nullptr;
     SyntheticTrace *synthTrace_ = nullptr;
     BanditPrefetchController *banditL2_ = nullptr;
 

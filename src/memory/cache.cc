@@ -1,6 +1,9 @@
 #include "memory/cache.h"
 
 #include <cassert>
+#include <cstring>
+#include <new>
+#include <type_traits>
 
 namespace mab {
 
@@ -10,7 +13,11 @@ Cache::Cache(const CacheConfig &config) : config_(config)
     numSets_ = config_.sizeBytes / (kLineBytes * config_.ways);
     assert(numSets_ > 0 && (numSets_ & (numSets_ - 1)) == 0 &&
            "cache sets must be a nonzero power of two");
-    lines_.assign(numSets_ * config_.ways, Line{});
+    lines_.reset(static_cast<Line *>(std::calloc(
+        numSets_ * static_cast<uint64_t>(config_.ways),
+        sizeof(Line))));
+    if (!lines_)
+        throw std::bad_alloc();
 }
 
 Cache::LookupResult
@@ -96,17 +103,22 @@ Cache::invalidate(uint64_t line)
 uint64_t
 Cache::occupancy() const
 {
+    const uint64_t n = numSets_ * static_cast<uint64_t>(config_.ways);
     uint64_t count = 0;
-    for (const Line &l : lines_)
-        count += l.valid;
+    for (uint64_t i = 0; i < n; ++i)
+        count += lines_[i].valid;
     return count;
 }
 
 void
 Cache::clear()
 {
-    for (auto &l : lines_)
-        l = Line{};
+    // The zero byte pattern is the reset Line state (see the lines_
+    // member comment); Line stays trivially copyable so this holds.
+    static_assert(std::is_trivially_copyable_v<Line>);
+    std::memset(static_cast<void *>(lines_.get()), 0,
+                numSets_ * static_cast<uint64_t>(config_.ways) *
+                    sizeof(Line));
     demandHits = 0;
     demandMisses = 0;
     useTick_ = 0;

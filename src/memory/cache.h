@@ -2,6 +2,8 @@
 #define MAB_MEMORY_CACHE_H
 
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -130,9 +132,24 @@ class Cache
         return const_cast<Cache *>(this)->findLine(line);
     }
 
+    struct FreeDeleter
+    {
+        void operator()(void *p) const { std::free(p); }
+    };
+
     CacheConfig config_;
     uint64_t numSets_;
-    std::vector<Line> lines_;
+
+    /**
+     * The tag array, calloc-backed. The all-zero byte pattern IS the
+     * reset Line state (invalid, tag 0), so a fresh array needs no
+     * explicit initialization pass — the OS hands out lazily-zeroed
+     * pages and only the sets a run actually touches ever fault in.
+     * A value-initialized vector memsets the whole array up front
+     * (LLC: ~4MB per CoreModel), which dominated short sweep runs
+     * that touch a few hundred sets.
+     */
+    std::unique_ptr<Line[], FreeDeleter> lines_;
     uint64_t useTick_ = 0;
 };
 

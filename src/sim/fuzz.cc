@@ -19,6 +19,7 @@
 #include "sim/parallel.h"
 #include "sim/rng.h"
 #include "trace/record.h"
+#include "trace/replay.h"
 
 namespace mab::fuzz {
 
@@ -1239,6 +1240,120 @@ shrinkSimCase(const SimCase &c)
 }
 
 // ---------------------------------------------------------------------
+// Live-vs-replay trace oracle
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+diffRecordStreams(SyntheticTrace &live, ReplaySource &replay,
+                  uint64_t count, const char *phase)
+{
+    for (uint64_t i = 0; i < count; ++i) {
+        const TraceRecord a = live.next();
+        const TraceRecord b = replay.next();
+        const auto field = [&](const char *name) {
+            return std::string(phase) + " record " +
+                std::to_string(i) + ": " + name +
+                " differs between live generation and replay";
+        };
+        if (a.pc != b.pc)
+            return field("pc");
+        if (a.addr != b.addr)
+            return field("addr");
+        if (a.isLoad != b.isLoad)
+            return field("isLoad");
+        if (a.isStore != b.isStore)
+            return field("isStore");
+        if (a.isBranch != b.isBranch)
+            return field("isBranch");
+        if (a.mispredicted != b.mispredicted)
+            return field("mispredicted");
+        if (a.dependsOnPrevLoad != b.dependsOnPrevLoad)
+            return field("dependsOnPrevLoad");
+    }
+    return "";
+}
+
+/** Exported-counter fingerprint of one CoreModel run of @p c over
+ *  @p trace (every counter the bench helpers report). */
+std::vector<uint64_t>
+simCounters(const SimCase &c, TraceSource &trace)
+{
+    std::unique_ptr<Prefetcher> pf =
+        makeSimPrefetcher(c.prefetcher, c.app.seed);
+    CoreModel core(CoreConfig{}, c.hier, trace, pf.get(), nullptr,
+                   c.dram);
+    core.run(c.instructions);
+    const CacheHierarchy &h = core.hierarchy();
+    const PrefetchStats &ps = h.prefetchStats();
+    uint64_t ipc_bits = 0;
+    const double ipc = core.ipc();
+    std::memcpy(&ipc_bits, &ipc, sizeof(ipc_bits));
+    return {core.instructions(),
+            core.cycles(),
+            ipc_bits,
+            h.hitsAt(HitLevel::L1),
+            h.hitsAt(HitLevel::L2),
+            h.hitsAt(HitLevel::Llc),
+            h.hitsAt(HitLevel::Dram),
+            h.l2DemandAccesses(),
+            h.llcDemandMisses(),
+            ps.issued,
+            ps.timely,
+            ps.late,
+            ps.wrong};
+}
+
+} // namespace
+
+std::string
+checkReplayEquivalence(uint64_t seed)
+{
+    const SimCase c = genSimCase(subSeed(seed, 64));
+
+    // Record-level: every field of every record, then again from the
+    // top after reset() on both sides (a reseeded generator must
+    // equal a rewound replay).
+    const uint64_t n = c.instructions;
+    const auto mat = std::make_shared<MaterializedTrace>(c.app, n);
+    {
+        SyntheticTrace live(c.app);
+        ReplaySource replay(mat);
+        std::string err = diffRecordStreams(live, replay, n, "fresh");
+        if (!err.empty())
+            return err + " (" + formatSimCase(c) + ")";
+        live.reset();
+        replay.reset();
+        err = diffRecordStreams(live, replay, n, "post-reset");
+        if (!err.empty())
+            return err + " (" + formatSimCase(c) + ")";
+    }
+
+    // End-to-end: the same case simulated over the live generator and
+    // over the replayed materialization must export identical
+    // counters, bit for bit.
+    SyntheticTrace live(c.app);
+    const std::vector<uint64_t> a = simCounters(c, live);
+    ReplaySource replay(mat);
+    const std::vector<uint64_t> b = simCounters(c, replay);
+    static const char *const names[] = {
+        "instructions",    "cycles",           "ipc",
+        "l1Hits",          "l2Hits",           "llcHits",
+        "dramHits",        "l2DemandAccesses", "llcDemandMisses",
+        "prefetchIssued",  "prefetchTimely",   "prefetchLate",
+        "prefetchWrong"};
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i])
+            return std::string("counter ") + names[i] +
+                " differs between the live-generator run and the "
+                "replay run (" +
+                formatSimCase(c) + ")";
+    }
+    return "";
+}
+
+// ---------------------------------------------------------------------
 // Serial-vs-parallel sweep oracle
 // ---------------------------------------------------------------------
 
@@ -1348,6 +1463,7 @@ FuzzReport::merge(const FuzzReport &other)
     cacheCases += other.cacheCases;
     banditCases += other.banditCases;
     simCases += other.simCases;
+    replayCases += other.replayCases;
     sweepCases += other.sweepCases;
     failures.insert(failures.end(), other.failures.begin(),
                     other.failures.end());
@@ -1406,6 +1522,13 @@ runFuzzIteration(uint64_t caseSeed, FuzzReport &report, bool shrink)
             }
             report.failures.push_back({caseSeed, "sim", err, repro});
         }
+    }
+    {
+        ++report.replayCases;
+        const std::string err = checkReplayEquivalence(caseSeed);
+        if (!err.empty())
+            report.failures.push_back(
+                {caseSeed, "replay", err, repro});
     }
     // The sweep oracle spawns threads; run it on a deterministic
     // subset of case seeds (~1 in 8) so long fuzz campaigns stay

@@ -348,6 +348,21 @@ std::string checkSimProperties(const SimCase &c);
 SimCase shrinkSimCase(const SimCase &c);
 
 // ---------------------------------------------------------------------
+// Live-vs-replay trace oracle
+// ---------------------------------------------------------------------
+
+/**
+ * Differential check of the trace arena's byte-identity invariant on
+ * a fuzzed sim config: materialize the case's workload, then
+ *  - diff a live SyntheticTrace against a ReplaySource field-for-
+ *    field over every record (including again after reset()), and
+ *  - run the case's CoreModel once over the live generator and once
+ *    over the replay source, diffing every exported counter.
+ * Returns "" on agreement, else the first divergence.
+ */
+std::string checkReplayEquivalence(uint64_t seed);
+
+// ---------------------------------------------------------------------
 // Serial-vs-parallel sweep oracle
 // ---------------------------------------------------------------------
 
@@ -390,6 +405,7 @@ struct FuzzReport
     uint64_t cacheCases = 0;
     uint64_t banditCases = 0;
     uint64_t simCases = 0;
+    uint64_t replayCases = 0;
     uint64_t sweepCases = 0;
     std::vector<FuzzFailure> failures;
 

@@ -12,6 +12,15 @@ SmtSimulator::SmtSimulator(std::string app0, std::string app1,
       src1_(smtAppByName(app1), config.seed * 0x9E37u + 2),
       label_(app0 + "+" + app1)
 {
+    // Per-lane seeds depend only on the run seed, not the mix, so one
+    // materialized stream per (app, lane) serves every mix it appears
+    // in (fig13 runs each app in ~21 mixes under 3 fetch regimes).
+    if (TraceArena::global().enabled()) {
+        src0_.attachStream(acquireUopStream(smtAppByName(app0),
+                                            config.seed * 0x9E37u + 1));
+        src1_.attachStream(acquireUopStream(smtAppByName(app1),
+                                            config.seed * 0x9E37u + 2));
+    }
 }
 
 template <typename EpochHook>

@@ -1,23 +1,15 @@
 #include "smt/thread_source.h"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
 #include <stdexcept>
 
 namespace mab {
 
-ThreadSource::ThreadSource(const SmtAppParams &params, uint64_t seed)
-    : params_(params), seed_(seed), rng_(seed)
-{
-}
-
-void
-ThreadSource::reset()
-{
-    rng_.reseed(seed_);
-}
-
 Uop
-ThreadSource::next()
+UopGen::next()
 {
     Uop uop;
     const double r = rng_.uniform();
@@ -60,6 +52,140 @@ ThreadSource::next()
         uop.depDistance = static_cast<uint16_t>(d);
     }
     return uop;
+}
+
+UopStream::UopStream(const SmtAppParams &params, uint64_t seed)
+    : gen_(params, seed)
+{
+    // Reserve the full chunk directory up front: slots below the
+    // published count must never move, because readers index into the
+    // vector concurrently with push_back (the buffer therefore must
+    // not reallocate; see chunk()).
+    chunks_.reserve(kMaxChunks);
+}
+
+const Uop *
+UopStream::chunk(uint64_t idx)
+{
+    if (idx < published_.load(std::memory_order_acquire))
+        return chunks_[idx].get();
+
+    std::lock_guard<std::mutex> lock(genMu_);
+    if (idx >= kMaxChunks)
+        throw std::runtime_error(
+            "UopStream: run exceeds the stream capacity");
+    const auto start = std::chrono::steady_clock::now();
+    while (published_.load(std::memory_order_relaxed) <= idx) {
+        auto buf = std::make_unique<Uop[]>(kChunkUops);
+        for (uint64_t i = 0; i < kChunkUops; ++i)
+            buf[i] = gen_.next();
+        chunks_.push_back(std::move(buf));
+        // Release-publish after the chunk contents and the directory
+        // slot are written: a reader that observes the new count also
+        // observes the chunk.
+        published_.store(chunks_.size(), std::memory_order_release);
+    }
+    genNs_.fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()),
+        std::memory_order_relaxed);
+    return chunks_[idx].get();
+}
+
+uint64_t
+UopStream::bytes() const
+{
+    return published_.load(std::memory_order_acquire) * kChunkUops *
+        sizeof(Uop);
+}
+
+double
+UopStream::genMs() const
+{
+    return static_cast<double>(
+               genNs_.load(std::memory_order_relaxed)) /
+        1e6;
+}
+
+std::string
+smtParamsFingerprint(const SmtAppParams &p)
+{
+    std::string key = p.name;
+    key += '|';
+    const auto bits = [&key](double v) {
+        char buf[20];
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(
+                          std::bit_cast<uint64_t>(v)));
+        key += buf;
+        key += ',';
+    };
+    bits(p.loadFrac);
+    bits(p.storeFrac);
+    bits(p.branchFrac);
+    bits(p.fpFrac);
+    bits(p.mispredictRate);
+    bits(p.l1MissRate);
+    bits(p.dramRate);
+    bits(p.depProb);
+    bits(p.storeDrainDramRate);
+    key += std::to_string(p.l2Latency);
+    key += ',';
+    key += std::to_string(p.dramLatency);
+    key += ',';
+    key += std::to_string(p.depMeanDistance);
+    return key;
+}
+
+std::shared_ptr<UopStream>
+acquireUopStream(const SmtAppParams &params, uint64_t seed)
+{
+    std::string key = "uops:";
+    key += smtParamsFingerprint(params);
+    key += '#';
+    key += std::to_string(seed);
+    auto item = TraceArena::global().acquire(key, [&] {
+        return std::make_shared<UopStream>(params, seed);
+    });
+    return std::static_pointer_cast<UopStream>(item);
+}
+
+ThreadSource::ThreadSource(const SmtAppParams &params, uint64_t seed)
+    : gen_(params, seed)
+{
+}
+
+void
+ThreadSource::attachStream(std::shared_ptr<UopStream> stream)
+{
+    stream_ = std::move(stream);
+    chunk_ = nullptr;
+    pos_ = 0;
+}
+
+void
+ThreadSource::reset()
+{
+    if (stream_) {
+        chunk_ = nullptr;
+        pos_ = 0;
+        return;
+    }
+    gen_.reset();
+}
+
+Uop
+ThreadSource::next()
+{
+    if (!stream_)
+        return gen_.next();
+    const uint64_t off = pos_ & (UopStream::kChunkUops - 1);
+    if (off == 0 || chunk_ == nullptr)
+        chunk_ = stream_->chunk(pos_ / UopStream::kChunkUops);
+    ++pos_;
+    return chunk_[off];
 }
 
 namespace {

@@ -1,11 +1,16 @@
 #ifndef MAB_SMT_THREAD_SOURCE_H
 #define MAB_SMT_THREAD_SOURCE_H
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/rng.h"
+#include "trace/replay.h"
 
 namespace mab {
 
@@ -78,7 +83,94 @@ struct SmtAppParams
     double storeDrainDramRate = 0.05;
 };
 
-/** Deterministic generator of a thread's micro-op stream. */
+/**
+ * The raw micro-op generator: a pure function of (params, seed,
+ * index). Shared by the live ThreadSource path and the materializing
+ * UopStream so replay is byte-identical to live generation by
+ * construction.
+ */
+class UopGen
+{
+  public:
+    UopGen(const SmtAppParams &params, uint64_t seed)
+        : params_(params), seed_(seed), rng_(seed)
+    {
+    }
+
+    Uop next();
+    void reset() { rng_.reseed(seed_); }
+
+    const SmtAppParams &params() const { return params_; }
+
+  private:
+    SmtAppParams params_;
+    uint64_t seed_;
+    Rng rng_;
+};
+
+/**
+ * A lazily-materialized, append-only micro-op stream shared across
+ * SMT runs (the SMT-side payload of the TraceArena). The fig13/table9
+ * sweeps run every mix under three fetch regimes, and each app
+ * appears in ~21 mixes with the same per-lane seed — so without
+ * sharing, the identical uop stream is regenerated dozens of times.
+ *
+ * Uops are generated in fixed chunks under a generation mutex and
+ * published through an acquire/release chunk count, so concurrent
+ * sweep tasks can replay (and extend) one stream safely. Chunk
+ * storage never moves once published: readers cache the chunk pointer
+ * and index into it lock-free; only crossing a chunk boundary takes
+ * the publish check.
+ *
+ * Unlike MaterializedTrace the stream has no fixed length — SMT runs
+ * are cycle-bounded, so how many uops a run consumes depends on the
+ * pipeline dynamics. The stream simply grows to the high-water mark
+ * of its consumers, and bytes() reports the current resident size to
+ * the arena's budget.
+ */
+class UopStream final : public ArenaItem
+{
+  public:
+    /** Uops per chunk (power of two; ~256KB per chunk). */
+    static constexpr uint64_t kChunkUops = 1ull << 14;
+
+    /** Directory capacity: kMaxChunks * kChunkUops uops (~268M). */
+    static constexpr uint64_t kMaxChunks = 1ull << 14;
+
+    UopStream(const SmtAppParams &params, uint64_t seed);
+
+    /**
+     * Pointer to chunk @p idx's kChunkUops records, generating up to
+     * and including that chunk first if needed. Thread-safe.
+     */
+    const Uop *chunk(uint64_t idx);
+
+    uint64_t bytes() const override;
+    double genMs() const override;
+
+  private:
+    UopGen gen_;
+    std::mutex genMu_;                      ///< guards extension
+    std::vector<std::unique_ptr<Uop[]>> chunks_;
+    std::atomic<uint64_t> published_{0};    ///< readable chunk count
+    std::atomic<uint64_t> genNs_{0};
+};
+
+/** Shared stream of (@p params, @p seed) from the global TraceArena. */
+std::shared_ptr<UopStream>
+acquireUopStream(const SmtAppParams &params, uint64_t seed);
+
+/** Exact arena key fragment for @p params (doubles by bit pattern). */
+std::string smtParamsFingerprint(const SmtAppParams &params);
+
+/**
+ * Deterministic source of a thread's micro-op stream. Two modes with
+ * byte-identical output:
+ *  - live (default): uops are generated on demand from the RNG;
+ *  - replay: attachStream() plugs in a shared UopStream and next()
+ *    becomes a load from the materialized buffer (extending the
+ *    shared stream only when running past its current end).
+ */
 class ThreadSource
 {
   public:
@@ -87,13 +179,26 @@ class ThreadSource
     Uop next();
     void reset();
 
-    const SmtAppParams &params() const { return params_; }
-    const std::string &name() const { return params_.name; }
+    /**
+     * Switch to replay mode over @p stream, restarting from uop 0.
+     * The stream must have been built from the same (params, seed)
+     * pair — acquireUopStream() keys on exactly that.
+     */
+    void attachStream(std::shared_ptr<UopStream> stream);
+
+    /** True when next() replays a materialized stream. */
+    bool replaying() const { return stream_ != nullptr; }
+
+    const SmtAppParams &params() const { return gen_.params(); }
+    const std::string &name() const { return gen_.params().name; }
 
   private:
-    SmtAppParams params_;
-    uint64_t seed_;
-    Rng rng_;
+    UopGen gen_;
+
+    /** Replay state (unused in live mode). */
+    std::shared_ptr<UopStream> stream_;
+    const Uop *chunk_ = nullptr;
+    uint64_t pos_ = 0;
 };
 
 /** The 22 SPEC17-like SMT app profiles of Section 6.2. */

@@ -1,0 +1,387 @@
+#include "trace/replay.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace mab {
+
+namespace {
+
+constexpr uint64_t kDefaultBudgetBytes = 512ull << 20;
+
+/** Exact double spelling: the bit pattern, so fingerprints of
+ *  profiles differing by one ULP still differ. */
+void
+appendBits(std::string &out, double v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      std::bit_cast<uint64_t>(v)));
+    out += buf;
+    out += ',';
+}
+
+void
+appendBits(std::string &out, uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+    out += ',';
+}
+
+} // namespace
+
+std::string
+profileFingerprint(const AppProfile &profile)
+{
+    std::string key = profile.name;
+    key += '|';
+    appendBits(key, profile.seed);
+    key += profile.loopPhases ? '1' : '0';
+    key += '|';
+    for (const PatternPhase &ph : profile.phases) {
+        appendBits(key, static_cast<uint64_t>(ph.kind));
+        appendBits(key, ph.memFraction);
+        appendBits(key, ph.storeFraction);
+        appendBits(key, ph.branchFraction);
+        appendBits(key, ph.mispredictRate);
+        appendBits(key, ph.footprintBytes);
+        appendBits(key, static_cast<uint64_t>(ph.strideBytes));
+        appendBits(key, static_cast<uint64_t>(ph.numStreams));
+        appendBits(key, static_cast<uint64_t>(ph.accessesPerLine));
+        appendBits(key, ph.chaseSerialFrac);
+        appendBits(key, ph.lengthInstrs);
+        key += ';';
+    }
+    return key;
+}
+
+MaterializedTrace::MaterializedTrace(const AppProfile &profile,
+                                     uint64_t count)
+    : name_(profile.name), count_(count), gen_(profile)
+{
+    // The whole directory exists up front (null slots): readers index
+    // it lock-free while the recorder fills slots in, so it must
+    // never reallocate.
+    chunks_.resize(numChunks());
+}
+
+bool
+MaterializedTrace::tryBecomeRecorder()
+{
+    bool expected = false;
+    if (!recorderActive_.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel,
+            std::memory_order_acquire))
+        return false;
+    recorderThread_.store(std::this_thread::get_id(),
+                          std::memory_order_seq_cst);
+    return true;
+}
+
+void
+MaterializedTrace::releaseRecorder()
+{
+    // Clear the thread id first: a waiter that still observes the
+    // role as active must never read its *own* id from a holder that
+    // has already left (see recorderIsThisThread).
+    recorderThread_.store(std::thread::id{},
+                          std::memory_order_seq_cst);
+    recorderActive_.store(false, std::memory_order_release);
+}
+
+bool
+MaterializedTrace::recorderIsThisThread() const
+{
+    return recorderActive_.load(std::memory_order_seq_cst) &&
+        recorderThread_.load(std::memory_order_seq_cst) ==
+        std::this_thread::get_id();
+}
+
+void
+MaterializedTrace::materializeAll()
+{
+    while (available() < count_) {
+        if (!tryBecomeRecorder()) {
+            std::this_thread::yield();
+            continue;
+        }
+        const auto start = std::chrono::steady_clock::now();
+        uint64_t i = avail_.load(std::memory_order_relaxed);
+        while (i < count_) {
+            PackedRecord *slot = recordChunk(i >> kChunkShift);
+            const uint64_t end =
+                std::min(count_, (i >> kChunkShift << kChunkShift) +
+                             kChunkRecords);
+            for (; i < end; ++i)
+                recordInto(slot[i & (kChunkRecords - 1)], i + 1);
+        }
+        genNs_.fetch_add(
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count()),
+            std::memory_order_relaxed);
+        releaseRecorder();
+    }
+}
+
+uint64_t
+MaterializedTrace::bytes() const
+{
+    const uint64_t avail = available();
+    if (avail == 0)
+        return 0;
+    // Chunks are allocated whole when their first record lands.
+    const uint64_t chunks =
+        (avail + kChunkRecords - 1) >> kChunkShift;
+    const uint64_t records = std::min(count_, chunks << kChunkShift);
+    return records * sizeof(PackedRecord);
+}
+
+double
+MaterializedTrace::genMs() const
+{
+    // Standalone (burst) generation only: records captured inside a
+    // recording run cost that run ~a store apiece and are not counted.
+    return static_cast<double>(
+               genNs_.load(std::memory_order_relaxed)) /
+        1e6;
+}
+
+std::shared_ptr<MaterializedTrace>
+MaterializedTrace::generate(const AppProfile &profile, uint64_t count)
+{
+    auto trace = std::make_shared<MaterializedTrace>(profile, count);
+    trace->materializeAll();
+    return trace;
+}
+
+void
+ReplaySource::advance()
+{
+    if (pos_ >= size_)
+        throwExhausted();
+    for (;;) {
+        const uint64_t avail = trace_->available();
+        if (pos_ < avail) {
+            known_ = std::min(avail, size_);
+            return;
+        }
+        if (trace_->tryBecomeRecorder()) {
+            // Records may have been published between the load above
+            // and the claim; only record from the true frontier.
+            const uint64_t now = trace_->available();
+            if (pos_ < now) {
+                trace_->releaseRecorder();
+                known_ = std::min(now, size_);
+                return;
+            }
+            recording_ = true;
+            known_ = size_;
+            return;
+        }
+        if (trace_->recorderIsThisThread())
+            throw std::runtime_error(
+                "ReplaySource '" + trace_->name() +
+                "': read past the materialization frontier while "
+                "another source on this thread holds the recorder "
+                "role — it can never catch up");
+        std::this_thread::yield();
+    }
+}
+
+void
+ReplaySource::throwExhausted() const
+{
+    throw std::runtime_error(
+        "ReplaySource '" + trace_->name() + "' exhausted after " +
+        std::to_string(size_) +
+        " records: the run consumed more than was materialized");
+}
+
+TraceArena::TraceArena() : budgetBytes_(kDefaultBudgetBytes)
+{
+    if (const char *env = std::getenv("MAB_TRACE_ARENA")) {
+        if (env[0] == '0' && env[1] == '\0')
+            enabled_ = false;
+    }
+    if (const char *env = std::getenv("MAB_TRACE_ARENA_MB")) {
+        char *end = nullptr;
+        const unsigned long long mb = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0')
+            budgetBytes_ = static_cast<uint64_t>(mb) << 20;
+    }
+}
+
+TraceArena &
+TraceArena::global()
+{
+    static TraceArena arena;
+    return arena;
+}
+
+bool
+TraceArena::enabled() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return enabled_;
+}
+
+void
+TraceArena::setEnabled(bool on)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    enabled_ = on;
+}
+
+uint64_t
+TraceArena::budgetBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return budgetBytes_;
+}
+
+void
+TraceArena::setBudgetBytes(uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    budgetBytes_ = bytes;
+}
+
+TraceArena::Stats
+TraceArena::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s;
+    s.enabled = enabled_;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.budgetBytes = budgetBytes_;
+    for (const auto &[key, entry] : map_) {
+        if (entry.fut.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready)
+            continue;
+        ++s.entries;
+        if (const auto &item = entry.fut.get()) {
+            s.bytes += item->bytes();
+            s.genMs += item->genMs();
+        }
+    }
+    return s;
+}
+
+void
+TraceArena::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    tick_ = hits_ = misses_ = evictions_ = 0;
+}
+
+std::shared_ptr<ArenaItem>
+TraceArena::acquire(const std::string &key, const Generator &gen)
+{
+    std::shared_future<std::shared_ptr<ArenaItem>> fut;
+    std::promise<std::shared_ptr<ArenaItem>> prom;
+    bool generate_here = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++tick_;
+        auto it = map_.find(key);
+        if (it != map_.end()) {
+            it->second.lruTick = tick_;
+            ++hits_;
+            fut = it->second.fut;
+        } else {
+            ++misses_;
+            Entry e;
+            e.fut = fut = prom.get_future().share();
+            e.lruTick = tick_;
+            map_.emplace(key, std::move(e));
+            generate_here = true;
+        }
+    }
+
+    if (!generate_here)
+        return fut.get(); // may wait for a concurrent generator
+
+    // Generate outside the lock: other keys proceed concurrently,
+    // same-key acquirers wait on the future installed above.
+    std::shared_ptr<ArenaItem> item;
+    try {
+        item = gen();
+    } catch (...) {
+        prom.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mu_);
+        map_.erase(key);
+        throw;
+    }
+    prom.set_value(item);
+    evictOverBudget(key);
+    return item;
+}
+
+void
+TraceArena::evictOverBudget(const std::string &keep)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (;;) {
+        uint64_t total = 0;
+        auto victim = map_.end();
+        for (auto it = map_.begin(); it != map_.end(); ++it) {
+            // In-flight entries have unknown size and a generator
+            // about to publish into them: never evict those.
+            if (it->second.fut.wait_for(std::chrono::seconds(0)) !=
+                std::future_status::ready)
+                continue;
+            const auto &item = it->second.fut.get();
+            total += item ? item->bytes() : 0;
+            if (it->first == keep)
+                continue;
+            if (victim == map_.end() ||
+                it->second.lruTick < victim->second.lruTick)
+                victim = it;
+        }
+        if (total <= budgetBytes_ || victim == map_.end())
+            return;
+        map_.erase(victim);
+        ++evictions_;
+    }
+}
+
+std::shared_ptr<MaterializedTrace>
+TraceArena::acquireTrace(const AppProfile &profile, uint64_t count)
+{
+    std::string key = "trace:";
+    key += profileFingerprint(profile);
+    key += '#';
+    key += std::to_string(count);
+    // Construction is cheap — records materialize lazily, inside the
+    // first consuming run — so a miss never blocks siblings behind a
+    // standalone generation pass.
+    auto item = acquire(key, [&] {
+        return std::make_shared<MaterializedTrace>(profile, count);
+    });
+    return std::static_pointer_cast<MaterializedTrace>(item);
+}
+
+std::unique_ptr<TraceSource>
+makeRunSource(const AppProfile &profile, uint64_t instructions)
+{
+    TraceArena &arena = TraceArena::global();
+    if (instructions == 0 || !arena.enabled())
+        return std::make_unique<SyntheticTrace>(profile);
+    return std::make_unique<ReplaySource>(
+        arena.acquireTrace(profile, instructions));
+}
+
+} // namespace mab

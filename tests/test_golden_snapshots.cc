@@ -17,6 +17,7 @@
 #include "sim/parallel.h"
 #include "sim/stats_registry.h"
 #include "smt/smt_sim.h"
+#include "trace/replay.h"
 #include "trace/suites.h"
 
 /**
@@ -203,8 +204,11 @@ singleCoreSnapshot(const std::string &app_name, Prefetcher &pf,
                    uint64_t instr, const std::string &scenario,
                    BanditPrefetchController *bandit = nullptr)
 {
-    SyntheticTrace trace(appByName(app_name));
-    CoreModel core(CoreConfig{}, HierarchyConfig{}, trace, &pf);
+    // Through the arena path when enabled: the goldens passing with
+    // the arena on is the end-to-end proof that replay is
+    // byte-identical to the live generation they were recorded from.
+    const auto trace = makeRunSource(appByName(app_name), instr);
+    CoreModel core(CoreConfig{}, HierarchyConfig{}, *trace, &pf);
     core.run(instr);
 
     StatsRegistry reg;
