@@ -20,33 +20,30 @@ main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
     const int jobs = benchJobs(argc, argv);
+    const int batch = benchBatch(argc, argv);
     const uint64_t instr = scaled(1'200'000);
     const std::vector<double> mtps_list = {150, 600, 2400, 9600};
     const std::vector<std::string> pfs = {"Pythia", "Bandit"};
     const auto workloads = allWorkloads();
 
     // One grid over (bandwidth x workload x prefetcher incl. base).
-    struct Point
-    {
-        double mtps;
-        size_t workload;
-        std::string pf;
-    };
-    std::vector<Point> grid;
+    // Every cell of one workload consumes the same record stream
+    // regardless of bandwidth, so with --batch N all 12 of its points
+    // can share one lockstep replay.
+    std::vector<PfTask> grid;
     for (double mtps : mtps_list) {
+        DramConfig dram;
+        dram.mtps = mtps;
         for (size_t w = 0; w < workloads.size(); ++w) {
-            grid.push_back({mtps, w, "None"});
+            grid.push_back(
+                {workloads[w].app, "None", instr, {}, dram, 0, {}});
             for (const auto &pf : pfs)
-                grid.push_back({mtps, w, pf});
+                grid.push_back(
+                    {workloads[w].app, pf, instr, {}, dram, 0, {}});
         }
     }
     const std::vector<PfRun> runs =
-        sweepMap<PfRun>(jobs, grid.size(), [&](size_t i) {
-            DramConfig dram;
-            dram.mtps = grid[i].mtps;
-            return runPrefetchNamed(workloads[grid[i].workload].app,
-                                    grid[i].pf, instr, {}, dram);
-        });
+        sweepPrefetchRuns(jobs, batch, grid);
 
     std::printf("Figure 10: geomean IPC vs available DRAM bandwidth "
                 "(normalized to no-prefetch at same bandwidth)\n");

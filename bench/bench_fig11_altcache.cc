@@ -15,22 +15,22 @@ main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
     const int jobs = benchJobs(argc, argv);
+    const int batch = benchBatch(argc, argv);
     const uint64_t instr = scaled(1'000'000);
     const HierarchyConfig hier = skylakeLikeAltConfig();
     const auto pf_names = comparisonPrefetchers();
     const auto workloads = allWorkloads();
 
-    std::vector<std::pair<size_t, std::string>> grid;
+    std::vector<PfTask> grid;
     for (size_t w = 0; w < workloads.size(); ++w) {
-        grid.emplace_back(w, "None");
+        grid.push_back(
+            {workloads[w].app, "None", instr, hier, {}, 0, {}});
         for (const auto &pf : pf_names)
-            grid.emplace_back(w, pf);
+            grid.push_back(
+                {workloads[w].app, pf, instr, hier, {}, 0, {}});
     }
     const std::vector<PfRun> runs =
-        sweepMap<PfRun>(jobs, grid.size(), [&](size_t i) {
-            return runPrefetchNamed(workloads[grid[i].first].app,
-                                    grid[i].second, instr, hier);
-        });
+        sweepPrefetchRuns(jobs, batch, grid);
 
     std::map<std::string, std::vector<double>> speedups;
     size_t g = 0;

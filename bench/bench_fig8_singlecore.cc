@@ -19,23 +19,23 @@ main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
     const int jobs = benchJobs(argc, argv);
+    const int batch = benchBatch(argc, argv);
     const uint64_t instr = scaled(1'000'000);
     const auto pf_names = comparisonPrefetchers();
     const auto workloads = allWorkloads();
 
     // Task grid: the no-prefetch base plus every comparison
-    // prefetcher, per workload; every point is an independent run.
-    std::vector<std::pair<size_t, std::string>> grid;
+    // prefetcher, per workload. With --batch N the per-workload runs
+    // advance in lockstep over one shared replay stream; results are
+    // byte-identical either way.
+    std::vector<PfTask> grid;
     for (size_t w = 0; w < workloads.size(); ++w) {
-        grid.emplace_back(w, "None");
+        grid.push_back({workloads[w].app, "None", instr, {}, {}, 0, {}});
         for (const auto &pf : pf_names)
-            grid.emplace_back(w, pf);
+            grid.push_back({workloads[w].app, pf, instr, {}, {}, 0, {}});
     }
     const std::vector<PfRun> runs =
-        sweepMap<PfRun>(jobs, grid.size(), [&](size_t i) {
-            return runPrefetchNamed(workloads[grid[i].first].app,
-                                    grid[i].second, instr);
-        });
+        sweepPrefetchRuns(jobs, batch, grid);
 
     // speedups[pf][suite] -> per-app normalized IPCs.
     std::map<std::string, std::map<std::string, std::vector<double>>>

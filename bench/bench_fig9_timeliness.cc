@@ -21,19 +21,21 @@ main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
     const int jobs = benchJobs(argc, argv);
+    const int batch = benchBatch(argc, argv);
     const uint64_t instr = scaled(1'000'000);
     std::vector<std::string> configs = comparisonPrefetchers();
     configs.push_back("BanditIdeal");
     const auto workloads = allWorkloads();
 
+    std::vector<PfTask> grid;
+    for (const auto &spec : workloads) {
+        grid.push_back({spec.app, "None", instr, {}, {}, 0, {}});
+        for (const auto &pf : configs)
+            grid.push_back({spec.app, pf, instr, {}, {}, 0, {}});
+    }
     const size_t per_app = 1 + configs.size();
-    const std::vector<PfRun> runs = sweepMap<PfRun>(
-        jobs, workloads.size() * per_app, [&](size_t i) {
-            const size_t c = i % per_app;
-            return runPrefetchNamed(workloads[i / per_app].app,
-                                    c == 0 ? "None" : configs[c - 1],
-                                    instr);
-        });
+    const std::vector<PfRun> runs =
+        sweepPrefetchRuns(jobs, batch, grid);
 
     struct Acc
     {

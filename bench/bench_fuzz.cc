@@ -46,11 +46,12 @@ printSummary(const fuzz::FuzzReport &report)
     std::printf("fuzz: %" PRIu64 " iterations (%" PRIu64
                 " cache, %" PRIu64 " bandit, %" PRIu64
                 " sim, %" PRIu64 " replay, %" PRIu64
+                " lockstep, %" PRIu64
                 " sweep cases), %zu failure(s)\n",
                 report.iterations, report.cacheCases,
                 report.banditCases, report.simCases,
-                report.replayCases, report.sweepCases,
-                report.failures.size());
+                report.replayCases, report.lockstepCases,
+                report.sweepCases, report.failures.size());
 }
 
 /**

@@ -22,6 +22,7 @@ main(int argc, char **argv)
 {
     TracingSession observability(argc, argv);
     const int jobs = benchJobs(argc, argv);
+    const int batch = benchBatch(argc, argv);
     const uint64_t instr = scaled(1'500'000);
     const auto tune = tuneSetPrefetch();
 
@@ -34,26 +35,37 @@ main(int argc, char **argv)
     };
 
     // Per app: the 11 static-arm runs of Table 7 plus the 6
-    // algorithms — every run an independent task.
+    // algorithms. All 17 cells of one app consume the same record
+    // stream, so --batch N groups them over a shared lockstep replay;
+    // the fixed-arm cells ride along via the custom factory.
     const size_t num_arms =
         static_cast<size_t>(BanditEnsemblePrefetcher::numArms());
     const size_t per_app = num_arms + algos.size();
-    const std::vector<double> ipcs = sweepMap<double>(
-        jobs, tune.size() * per_app, [&](size_t i) {
-            const AppProfile &app = tune[i / per_app];
-            const size_t c = i % per_app;
-            if (c < num_arms) {
+    std::vector<PfTask> grid;
+    for (const AppProfile &app : tune) {
+        for (size_t arm = 0; arm < num_arms; ++arm) {
+            PfTask t;
+            t.app = app;
+            t.instr = instr;
+            t.make = [arm] {
                 MabConfig mcfg;
                 mcfg.numArms = BanditEnsemblePrefetcher::numArms();
-                BanditPrefetchController pf(
+                return std::make_unique<BanditPrefetchController>(
                     std::make_unique<FixedArmPolicy>(
-                        mcfg, static_cast<ArmId>(c)),
+                        mcfg, static_cast<ArmId>(arm)),
                     BanditHwConfig{});
-                return runPrefetch(app, pf, instr).ipc;
-            }
-            return runPrefetchNamed(app, algos[c - num_arms], instr)
-                .ipc;
-        });
+            };
+            grid.push_back(std::move(t));
+        }
+        for (const auto &algo : algos)
+            grid.push_back({app, algo, instr, {}, {}, 0, {}});
+    }
+    const std::vector<PfRun> runs =
+        sweepPrefetchRuns(jobs, batch, grid);
+    std::vector<double> ipcs;
+    ipcs.reserve(runs.size());
+    for (const PfRun &r : runs)
+        ipcs.push_back(r.ipc);
 
     std::map<std::string, std::vector<double>> ratios;
     for (size_t a = 0; a < tune.size(); ++a) {

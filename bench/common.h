@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -33,6 +34,7 @@
 #include "prefetch/pythia.h"
 #include "prefetch/stride.h"
 #include "sim/json.h"
+#include "sim/lockstep.h"
 #include "sim/parallel.h"
 #include "sim/stats.h"
 #include "sim/tracing.h"
@@ -215,6 +217,87 @@ benchJobs(int argc, char **argv)
 }
 
 /**
+ * Lockstep-execution record of this process: the batch cap the
+ * harness resolved and, once a batched sweep ran, the plan it
+ * executed. Stamped into meta.lockstep of every --json report. The
+ * plan is computed statically from the task grid (planLockstepBatches
+ * is pure), so the block is deterministic at any jobs count.
+ */
+struct LockstepMeta
+{
+    int batch = 0;               ///< resolved --batch cap (0 = off)
+    uint64_t batches = 0;        ///< multi-cell batches executed
+    std::vector<uint64_t> cellsPerBatch;
+    /** Record fetches avoided: sum over batches of
+     *  records x (cells - 1). */
+    uint64_t recordsShared = 0;
+};
+
+inline LockstepMeta &
+lockstepMeta()
+{
+    static LockstepMeta meta;
+    return meta;
+}
+
+/**
+ * Batch cap of the bench sweep: `--batch N` on the command line, else
+ * MAB_BENCH_BATCH, else 0 (batching off — the per-task path, the
+ * pre-lockstep behavior). N is the maximum number of compatible sweep
+ * cells one LockstepBatch advances over a shared replay stream;
+ * N <= 1 disables batching. Same strict validation as resolveJobs:
+ * a duplicate, negative or non-numeric count is a usage error —
+ * resolveBatch() reports it, benchBatch() exits 2.
+ */
+inline std::string
+resolveBatch(int argc, char **argv, const char *env, int *out)
+{
+    *out = 0;
+    const char *v = nullptr;
+    const std::string err = findFlagValue(argc, argv, "--batch", &v);
+    if (!err.empty())
+        return err;
+    if (!v)
+        v = env;
+    if (!v)
+        return "";
+    int64_t batch = 0;
+    if (!parseInt64(v, &batch) || batch < 0)
+        return std::string("usage error: --batch needs a non-negative "
+                           "integer, got '") +
+            v + "'";
+    *out = static_cast<int>(std::min<int64_t>(batch, 1 << 16));
+    return "";
+}
+
+/**
+ * Resolve the batch cap for this process (and record it in
+ * lockstepMeta()). Call after TracingSession / benchJobs: when a
+ * tracing or audit sink is open, batching is clamped off because
+ * lockstep interleaves cells on the shared virtual timeline. The
+ * clamp note prints only when batching was actually requested, so
+ * untraced runs produce byte-identical stdout at every --batch value.
+ */
+inline int
+benchBatch(int argc, char **argv)
+{
+    int batch = 0;
+    const std::string err = resolveBatch(
+        argc, argv, std::getenv("MAB_BENCH_BATCH"), &batch);
+    if (!err.empty()) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        std::exit(2);
+    }
+    if (batch > 1 && tracing::Tracer::global().enabled()) {
+        std::printf("tracing/audit sink open: disabling lockstep "
+                    "batching (batch 0)\n");
+        batch = 0;
+    }
+    lockstepMeta().batch = batch;
+    return batch;
+}
+
+/**
  * Run the sweep { fn(0), ..., fn(n-1) } on @p jobs lanes and return
  * the results in submission order; the per-task wall-clock lands in
  * parallelMeta(). This is the one call every bench binary routes its
@@ -346,6 +429,17 @@ runMetaJson(int argc, char **argv)
     ar["budgetBytes"] = arena.budgetBytes;
     ar["genMs"] = arena.genMs;
     meta["traceArena"] = std::move(ar);
+
+    const LockstepMeta &ls = lockstepMeta();
+    json::Value lock = json::Value::object();
+    lock["batch"] = ls.batch;
+    lock["batches"] = ls.batches;
+    json::Value cells = json::Value::array();
+    for (uint64_t c : ls.cellsPerBatch)
+        cells.push(c);
+    lock["cellsPerBatch"] = std::move(cells);
+    lock["recordsShared"] = ls.recordsShared;
+    meta["lockstep"] = std::move(lock);
     return meta;
 }
 
@@ -537,6 +631,41 @@ struct PfRun
 };
 
 /**
+ * Offer @p pf the system probes @p core can provide; implementations
+ * that exploit one take it (Pythia's bandwidth awareness), the rest
+ * inherit the no-op default. Shared between the per-task run path and
+ * the lockstep cells so both wire the same probes.
+ */
+inline void
+attachDramProbes(CoreModel &core, Prefetcher &pf)
+{
+    SystemProbes probes;
+    Dram *d = &core.hierarchy().dram();
+    probes.dramUtilization = [d](uint64_t cycle) {
+        const uint64_t busy = d->busFreeCycle();
+        if (busy <= cycle)
+            return 0.0;
+        const double backlog = static_cast<double>(busy - cycle);
+        return backlog >= 500.0 ? 1.0 : backlog / 500.0;
+    };
+    pf.attachSystemProbes(probes);
+}
+
+/** Read the counters of a finished run off @p core (the PfRun every
+ *  bench aggregation consumes). */
+inline PfRun
+collectPfRun(CoreModel &core)
+{
+    PfRun r;
+    r.ipc = core.ipc();
+    r.pf = core.hierarchy().prefetchStats();
+    r.llcDemandMisses = core.hierarchy().llcDemandMisses();
+    r.l2DemandAccesses = core.hierarchy().l2DemandAccesses();
+    r.instructions = core.instructions();
+    return r;
+}
+
+/**
  * Run @p app with @p pf for @p instr instructions.
  *
  * @param seed When nonzero, overrides the profile's base seed for the
@@ -566,29 +695,11 @@ runPrefetch(const AppProfile &app, Prefetcher &pf, uint64_t instr,
     tracing::Tracer &tracer = tracing::Tracer::global();
     tracer.beginRun(seeded.name + "/" + pf.name());
 
-    // Offer every prefetcher the system probes this host can provide;
-    // implementations that exploit one take it (Pythia's bandwidth
-    // awareness), the rest inherit the no-op default.
-    SystemProbes probes;
-    Dram *d = &core.hierarchy().dram();
-    probes.dramUtilization = [d](uint64_t cycle) {
-        const uint64_t busy = d->busFreeCycle();
-        if (busy <= cycle)
-            return 0.0;
-        const double backlog = static_cast<double>(busy - cycle);
-        return backlog >= 500.0 ? 1.0 : backlog / 500.0;
-    };
-    pf.attachSystemProbes(probes);
+    attachDramProbes(core, pf);
 
     core.run(instr);
     tracer.endRun(core.cycles());
-    PfRun r;
-    r.ipc = core.ipc();
-    r.pf = core.hierarchy().prefetchStats();
-    r.llcDemandMisses = core.hierarchy().llcDemandMisses();
-    r.l2DemandAccesses = core.hierarchy().l2DemandAccesses();
-    r.instructions = core.instructions();
-    return r;
+    return collectPfRun(core);
 }
 
 /** Convenience: run by prefetcher name. A nonzero @p seed seeds both
@@ -600,6 +711,126 @@ runPrefetchNamed(const AppProfile &app, const std::string &pf_name,
 {
     auto pf = makePrefetcher(pf_name, seed != 0 ? seed : app.seed);
     return runPrefetch(app, *pf, instr, hier, dram, seed);
+}
+
+/**
+ * One cell of a prefetching sweep, described as data so the harness
+ * can group compatible cells (same workload stream) into lockstep
+ * batches. Semantics match runPrefetch/runPrefetchNamed exactly: a
+ * nonzero @p seed overrides both the trace seed and the prefetcher
+ * seed.
+ */
+struct PfTask
+{
+    AppProfile app;
+    std::string pf = "None"; ///< makePrefetcher() name
+    uint64_t instr = 0;
+    HierarchyConfig hier{};
+    DramConfig dram{};
+    uint64_t seed = 0; ///< nonzero overrides app.seed (runPrefetch)
+    /** Custom prefetcher factory (e.g. Table 8's fixed-arm cells);
+     *  when set, @p pf is ignored. */
+    std::function<std::unique_ptr<Prefetcher>()> make;
+};
+
+/** The profile whose record stream the task consumes (seed override
+ *  applied) — the lockstep compatibility is keyed on this. */
+inline AppProfile
+taskProfile(const PfTask &t)
+{
+    AppProfile p = t.app;
+    if (t.seed != 0)
+        p.seed = t.seed;
+    return p;
+}
+
+inline std::unique_ptr<Prefetcher>
+makeTaskPrefetcher(const PfTask &t)
+{
+    if (t.make)
+        return t.make();
+    return makePrefetcher(t.pf, t.seed != 0 ? t.seed : t.app.seed);
+}
+
+/** The per-task path: exactly runPrefetchNamed / runPrefetch. */
+inline PfRun
+runPfTask(const PfTask &t)
+{
+    const std::unique_ptr<Prefetcher> pf = makeTaskPrefetcher(t);
+    return runPrefetch(t.app, *pf, t.instr, t.hier, t.dram, t.seed);
+}
+
+/**
+ * Run a prefetching sweep on @p jobs lanes, lockstep-batching up to
+ * @p batch compatible cells (same workload fingerprint + instruction
+ * count) over one shared replay stream (sim/lockstep.h). Results come
+ * back indexed exactly like the task grid, byte-identical to the
+ * per-task path at every batch size and jobs count.
+ *
+ * Fallbacks: @p batch <= 1 (or a disabled trace arena — without
+ * materialized records there is no shared stream to replay) runs
+ * every cell through the existing per-task path; with batching on,
+ * singleton groups do the same. The executed plan lands in
+ * lockstepMeta() (the meta.lockstep block), computed statically from
+ * the grid so it is deterministic at any jobs count.
+ */
+inline std::vector<PfRun>
+sweepPrefetchRuns(int jobs, int batch,
+                  const std::vector<PfTask> &tasks)
+{
+    if (batch <= 1 || !TraceArena::global().enabled()) {
+        return sweepMap<PfRun>(
+            jobs, tasks.size(),
+            [&](size_t i) { return runPfTask(tasks[i]); });
+    }
+
+    std::vector<std::string> keys;
+    keys.reserve(tasks.size());
+    for (const PfTask &t : tasks)
+        keys.push_back(profileFingerprint(taskProfile(t)) + '#' +
+                       std::to_string(t.instr));
+    const std::vector<std::vector<size_t>> plan =
+        planLockstepBatches(keys, static_cast<size_t>(batch));
+
+    LockstepMeta &meta = lockstepMeta();
+    for (const std::vector<size_t> &unit : plan) {
+        if (unit.size() < 2 || tasks[unit[0]].instr == 0)
+            continue;
+        ++meta.batches;
+        meta.cellsPerBatch.push_back(unit.size());
+        meta.recordsShared +=
+            tasks[unit[0]].instr * (unit.size() - 1);
+    }
+
+    std::vector<PfRun> out(tasks.size());
+    sweepMap<int>(jobs, plan.size(), [&](size_t u) {
+        const std::vector<size_t> &unit = plan[u];
+        if (unit.size() < 2 || tasks[unit[0]].instr == 0) {
+            // Singletons share nothing; run them on the proven path.
+            for (size_t idx : unit)
+                out[idx] = runPfTask(tasks[idx]);
+            return 0;
+        }
+        const PfTask &first = tasks[unit[0]];
+        LockstepBatch lb(TraceArena::global().acquireTrace(
+                             taskProfile(first), first.instr),
+                         first.instr);
+        std::vector<std::unique_ptr<Prefetcher>> pfs;
+        pfs.reserve(unit.size());
+        for (size_t idx : unit) {
+            const PfTask &t = tasks[idx];
+            pfs.push_back(makeTaskPrefetcher(t));
+            lb.addCell(CoreConfig{}, t.hier, t.dram,
+                       pfs.back().get());
+        }
+        for (size_t c = 0; c < unit.size(); ++c)
+            attachDramProbes(lb.core(c), *pfs[c]);
+        lb.run();
+        for (size_t c = 0; c < unit.size(); ++c)
+            out[unit[c]] = collectPfRun(lb.core(c));
+        return 0;
+    });
+    return out;
 }
 
 /** Print a horizontal rule sized to @p width. */

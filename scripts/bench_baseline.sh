@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Records the repo's perf trajectory for the sweep engine: end-to-end
-# wall-clock of the fig8 / fig13 / table8 sweeps at 1% scale, with the
-# trace arena on vs off, at 1 and 4 jobs. Emits BENCH_sweeps.json.
+# wall-clock of the fig8 / fig13 / table8 sweeps at 1% scale — trace
+# arena on vs off vs lockstep batching (--batch 8) — at 1 and 4 jobs,
+# plus the lockstep record-delivery microbenchmarks (BM_ReplayNext,
+# BM_LockstepStep). Emits BENCH_sweeps.json.
 #
-# Methodology: for each (sweep, jobs) cell the on/off legs are
-# interleaved (on, off, on, off, ...) so slow drift in host load hits
-# both legs equally, and the summary reports both the min and the
-# median of the per-leg times. On a shared box prefer the min — it is
-# the closest observable to the noise-free cost.
+# Methodology: for each (sweep, jobs) cell the on/off/batch legs are
+# interleaved (on, off, batch, on, off, batch, ...) so slow drift in
+# host load hits every leg equally, and the summary reports both the
+# min and the median of the per-leg times. On a shared box prefer the
+# min — it is the closest observable to the noise-free cost.
 #
 # Usage:
 #   scripts/bench_baseline.sh <build-bench-dir> [out.json]
@@ -30,21 +32,22 @@ now_ms() {
     echo $((($(date +%s%N)) / 1000000))
 }
 
-# run_leg <exe> <jobs> <arena:on|off> -> wall ms on stdout
+# run_leg <exe> <jobs> <mode:on|off|batch8> -> wall ms on stdout
 run_leg() {
-    local exe=$1 jobs=$2 arena=$3 t0 t1
+    local exe=$1 jobs=$2 mode=$3 t0 t1
     t0=$(now_ms)
-    if [ "$arena" = off ]; then
-        MAB_BENCH_JOBS=$jobs MAB_TRACE_ARENA=0 "$exe" >/dev/null
-    else
-        MAB_BENCH_JOBS=$jobs "$exe" >/dev/null
-    fi
+    case "$mode" in
+    off) MAB_BENCH_JOBS=$jobs MAB_TRACE_ARENA=0 "$exe" >/dev/null ;;
+    batch8) MAB_BENCH_JOBS=$jobs MAB_BENCH_BATCH=8 "$exe" >/dev/null ;;
+    *) MAB_BENCH_JOBS=$jobs "$exe" >/dev/null ;;
+    esac
     t1=$(now_ms)
     echo $((t1 - t0))
 }
 
 results=$(mktemp)
-trap 'rm -f "$results"' EXIT
+micro=$(mktemp)
+trap 'rm -f "$results" "$micro"' EXIT
 
 for sweep in "${sweeps[@]}"; do
     exe="$bench_dir/$sweep"
@@ -53,17 +56,28 @@ for sweep in "${sweeps[@]}"; do
         exit 1
     }
     for jobs in "${jobs_list[@]}"; do
-        on_ms=() off_ms=()
+        on_ms=() off_ms=() batch_ms=()
         for ((r = 0; r < reps; ++r)); do
             on_ms+=("$(run_leg "$exe" "$jobs" on)")
             off_ms+=("$(run_leg "$exe" "$jobs" off)")
+            batch_ms+=("$(run_leg "$exe" "$jobs" batch8)")
         done
-        echo "$sweep jobs=$jobs on: ${on_ms[*]} | off: ${off_ms[*]}" >&2
-        echo "$sweep $jobs ${on_ms[*]} | ${off_ms[*]}" >>"$results"
+        echo "$sweep jobs=$jobs on: ${on_ms[*]} | off: ${off_ms[*]}" \
+            "| batch8: ${batch_ms[*]}" >&2
+        echo "$sweep $jobs ${on_ms[*]} | ${off_ms[*]} | ${batch_ms[*]}" \
+            >>"$results"
     done
 done
 
-python3 - "$results" "$out" "$reps" "$MAB_BENCH_SCALE" <<'EOF'
+# Record-delivery microbenches: the per-record replay cost and the
+# amortized per-record-per-cell lockstep cost (the <5.6 ns acceptance
+# bar at batch >= 8 lives in the "ns/record/cell" counter).
+"$bench_dir/bench_microbench" \
+    --benchmark_filter='BM_ReplayNext|BM_LockstepStep' \
+    --benchmark_min_time=0.2 --benchmark_format=json >"$micro" \
+    2>/dev/null
+
+python3 - "$results" "$out" "$reps" "$MAB_BENCH_SCALE" "$micro" <<'EOF'
 import json
 import statistics
 import subprocess
@@ -71,49 +85,78 @@ import sys
 
 results_path, out_path, reps = sys.argv[1], sys.argv[2], int(sys.argv[3])
 scale = float(sys.argv[4])
+micro_path = sys.argv[5]
 
 sweeps = []
 with open(results_path) as f:
     for line in f:
         name, jobs, rest = line.split(maxsplit=2)
-        on_part, off_part = rest.split("|")
+        on_part, off_part, batch_part = rest.split("|")
         on = [int(x) for x in on_part.split()]
         off = [int(x) for x in off_part.split()]
+        batch = [int(x) for x in batch_part.split()]
         saving = lambda a, b: round(100.0 * (b - a) / b, 1) if b else 0.0
         sweeps.append({
             "sweep": name,
             "jobs": int(jobs),
             "arenaOnMs": on,
             "arenaOffMs": off,
+            "batch8Ms": batch,
             "minOnMs": min(on),
             "minOffMs": min(off),
+            "minBatch8Ms": min(batch),
             "medianOnMs": statistics.median(on),
             "medianOffMs": statistics.median(off),
+            "medianBatch8Ms": statistics.median(batch),
             "savingPctMin": saving(min(on), min(off)),
             "savingPctMedian": saving(statistics.median(on),
                                       statistics.median(off)),
+            "batchSavingPctMin": saving(min(batch), min(on)),
         })
+
+with open(micro_path) as f:
+    micro = json.load(f)
+replay_ns = None
+lockstep_ns = {}
+# Inverted-rate counters are reported in seconds per item; scale to ns.
+for b in micro.get("benchmarks", []):
+    name = b.get("name", "")
+    if name.startswith("BM_ReplayNext"):
+        replay_ns = round(b["ns/record"] * 1e9, 3)
+    elif name.startswith("BM_LockstepStep/"):
+        cells = name.split("/")[1]
+        lockstep_ns[cells] = round(b["ns/record/cell"] * 1e9, 3)
 
 date = subprocess.run(["date", "-u", "+%Y-%m-%dT%H:%M:%SZ"],
                       capture_output=True, text=True).stdout.strip()
 nproc = subprocess.run(["nproc"], capture_output=True,
                        text=True).stdout.strip()
 doc = {
-    "schema": "mab-bench-sweeps-v1",
+    "schema": "mab-bench-sweeps-v2",
     "generatedUtc": date,
     "host": {"nproc": int(nproc or 1)},
     "scale": scale,
     "repsPerLeg": reps,
-    "methodology": ("interleaved on/off legs per cell; min is the "
-                    "noise-resistant statistic on a shared host"),
+    "methodology": ("interleaved on/off/batch8 legs per cell; min is "
+                    "the noise-resistant statistic on a shared host"),
+    "lockstep": {
+        "replayNsPerRecord": replay_ns,
+        "nsPerRecordPerCell": lockstep_ns,
+        "acceptance": "ns/record/cell < 5.6 amortized at batch >= 8",
+    },
     "sweeps": sweeps,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote {out_path}")
+print(f"  BM_ReplayNext {replay_ns} ns/record; BM_LockstepStep " +
+      ", ".join(f"{k} cells: {v}" for k, v in sorted(
+          lockstep_ns.items(), key=lambda kv: int(kv[0]))) +
+      " ns/record/cell")
 for s in sweeps:
     print(f"  {s['sweep']:<28} jobs={s['jobs']}  "
-          f"min {s['minOnMs']}/{s['minOffMs']} ms  "
-          f"saving {s['savingPctMin']}% (median {s['savingPctMedian']}%)")
+          f"min {s['minOnMs']}/{s['minOffMs']}/{s['minBatch8Ms']} ms  "
+          f"arena saving {s['savingPctMin']}%  "
+          f"batch8 saving {s['batchSavingPctMin']}%")
 EOF

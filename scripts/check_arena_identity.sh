@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# Arena identity gate: the trace arena must change nothing observable.
+# Arena + lockstep identity gate: neither the trace arena nor batch-
+# lockstep execution may change anything observable.
 #
-# For each sweep binary this runs the same configuration twice — arena
-# on (default) and arena off (MAB_TRACE_ARENA=0) — and asserts:
+# For each sweep binary this runs one base configuration (arena on,
+# batching off) and diffs it against:
 #
-#   1. stdout is byte-identical between the two legs, and
+#   - arena off        (MAB_TRACE_ARENA=0), and
+#   - lockstep batches (--batch 2 and --batch 8, each at jobs 1 and 4)
+#
+# asserting for every leg that:
+#
+#   1. stdout is byte-identical to the base leg, and
 #   2. for binaries that emit a --json report, the reports are
 #      byte-identical after dropping the top-level "meta" block
 #      (which by design records run-local facts: wall-clock samples,
-#      the command line, and the arena hit/miss counters themselves).
+#      the command line, the arena hit/miss counters and the
+#      lockstep batch plan themselves).
 #
 # Usage:
 #   scripts/check_arena_identity.sh <build-bench-dir> [jobs] [bench...]
@@ -39,6 +46,7 @@ fi
 
 export MAB_BENCH_SCALE=${MAB_BENCH_SCALE:-0.01}
 export MAB_BENCH_JOBS=$jobs
+export MAB_BENCH_BATCH=0
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -75,43 +83,61 @@ for b in "${benches[@]}"; do
         continue
     fi
 
-    json_args=()
-    if json_capable "$b"; then
-        json_args=(--json "$tmp/$b.on.json")
-    fi
-    "$exe" "${json_args[@]}" >"$tmp/$b.on.txt" 2>&1
+    # run_leg <leg> [VAR=VAL...]: one run of $exe under the given
+    # environment overrides, stdout and --json captured per leg. The
+    # json-report path prints its destination; mask it so stdout
+    # compares clean while the reports are diffed separately.
+    run_leg() {
+        local leg=$1
+        shift
+        local json_args=()
+        if json_capable "$b"; then
+            json_args=(--json "$tmp/$b.$leg.json")
+        fi
+        env "$@" "$exe" "${json_args[@]}" >"$tmp/$b.$leg.txt" 2>&1
+        sed -i "s#$tmp/$b\.$leg\.json#<json>#" "$tmp/$b.$leg.txt"
+        if json_capable "$b"; then
+            strip_meta "$tmp/$b.$leg.json" \
+                "$tmp/$b.$leg.stripped.json"
+        fi
+    }
 
-    if json_capable "$b"; then
-        json_args=(--json "$tmp/$b.off.json")
-    fi
-    MAB_TRACE_ARENA=0 "$exe" "${json_args[@]}" >"$tmp/$b.off.txt" 2>&1
-
-    # The json-report path prints its destination; mask it so stdout
-    # compares clean while the reports are diffed separately below.
-    sed -i "s#$tmp/$b\.\(on\|off\)\.json#<json>#" \
-        "$tmp/$b.on.txt" "$tmp/$b.off.txt"
-
-    ok=1
-    if ! cmp -s "$tmp/$b.on.txt" "$tmp/$b.off.txt"; then
-        echo "DIFF     $b: stdout differs arena on vs off (jobs=$jobs)" >&2
-        diff "$tmp/$b.on.txt" "$tmp/$b.off.txt" | head -20 >&2 || true
-        ok=0
-    fi
-    if json_capable "$b"; then
-        strip_meta "$tmp/$b.on.json" "$tmp/$b.on.stripped.json"
-        strip_meta "$tmp/$b.off.json" "$tmp/$b.off.stripped.json"
-        if ! cmp -s "$tmp/$b.on.stripped.json" \
-            "$tmp/$b.off.stripped.json"; then
-            echo "DIFF     $b: --json report differs arena on vs off" \
-                "(jobs=$jobs, modulo meta)" >&2
-            diff "$tmp/$b.on.stripped.json" \
-                "$tmp/$b.off.stripped.json" | head -20 >&2 || true
+    # compare_leg <leg> <description>: diff the leg against base.
+    compare_leg() {
+        local leg=$1 what=$2
+        if ! cmp -s "$tmp/$b.base.txt" "$tmp/$b.$leg.txt"; then
+            echo "DIFF     $b: stdout differs $what" >&2
+            diff "$tmp/$b.base.txt" "$tmp/$b.$leg.txt" \
+                | head -20 >&2 || true
             ok=0
         fi
-    fi
+        if json_capable "$b"; then
+            if ! cmp -s "$tmp/$b.base.stripped.json" \
+                "$tmp/$b.$leg.stripped.json"; then
+                echo "DIFF     $b: --json report differs $what" \
+                    "(modulo meta)" >&2
+                diff "$tmp/$b.base.stripped.json" \
+                    "$tmp/$b.$leg.stripped.json" | head -20 >&2 || true
+                ok=0
+            fi
+        fi
+    }
+
+    ok=1
+    run_leg base
+    run_leg off MAB_TRACE_ARENA=0
+    compare_leg off "arena on vs off (jobs=$jobs)"
+    for batch in 2 8; do
+        for bj in 1 4; do
+            run_leg "b$batch.j$bj" \
+                MAB_BENCH_BATCH=$batch MAB_BENCH_JOBS=$bj
+            compare_leg "b$batch.j$bj" \
+                "batch $batch jobs $bj vs unbatched (jobs=$jobs)"
+        done
+    done
 
     if [ "$ok" -eq 1 ]; then
-        echo "IDENTICAL  $b (jobs=$jobs)"
+        echo "IDENTICAL  $b (jobs=$jobs, arena off, batch 2/8 x jobs 1/4)"
     else
         fail=1
     fi
@@ -121,4 +147,4 @@ if [ "$fail" -ne 0 ]; then
     echo "arena identity check FAILED" >&2
     exit 1
 fi
-echo "arena identity check passed: ${#benches[@]} sweep(s), jobs=$jobs"
+echo "arena+lockstep identity check passed: ${#benches[@]} sweep(s), jobs=$jobs"

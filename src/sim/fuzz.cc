@@ -16,6 +16,7 @@
 #include "prefetch/mlop.h"
 #include "prefetch/pythia.h"
 #include "prefetch/stride.h"
+#include "sim/lockstep.h"
 #include "sim/parallel.h"
 #include "sim/rng.h"
 #include "trace/record.h"
@@ -1275,16 +1276,19 @@ diffRecordStreams(SyntheticTrace &live, ReplaySource &replay,
     return "";
 }
 
-/** Exported-counter fingerprint of one CoreModel run of @p c over
- *  @p trace (every counter the bench helpers report). */
+/** Names of the coreCounters() entries (divergence reports). */
+const char *const kCoreCounterNames[] = {
+    "instructions",   "cycles",           "ipc",
+    "l1Hits",         "l2Hits",           "llcHits",
+    "dramHits",       "l2DemandAccesses", "llcDemandMisses",
+    "prefetchIssued", "prefetchTimely",   "prefetchLate",
+    "prefetchWrong"};
+
+/** Exported-counter fingerprint of a finished CoreModel run (every
+ *  counter the bench helpers report). */
 std::vector<uint64_t>
-simCounters(const SimCase &c, TraceSource &trace)
+coreCounters(const CoreModel &core)
 {
-    std::unique_ptr<Prefetcher> pf =
-        makeSimPrefetcher(c.prefetcher, c.app.seed);
-    CoreModel core(CoreConfig{}, c.hier, trace, pf.get(), nullptr,
-                   c.dram);
-    core.run(c.instructions);
     const CacheHierarchy &h = core.hierarchy();
     const PrefetchStats &ps = h.prefetchStats();
     uint64_t ipc_bits = 0;
@@ -1303,6 +1307,18 @@ simCounters(const SimCase &c, TraceSource &trace)
             ps.timely,
             ps.late,
             ps.wrong};
+}
+
+/** coreCounters() of one run of @p c over @p trace. */
+std::vector<uint64_t>
+simCounters(const SimCase &c, TraceSource &trace)
+{
+    std::unique_ptr<Prefetcher> pf =
+        makeSimPrefetcher(c.prefetcher, c.app.seed);
+    CoreModel core(CoreConfig{}, c.hier, trace, pf.get(), nullptr,
+                   c.dram);
+    core.run(c.instructions);
+    return coreCounters(core);
 }
 
 } // namespace
@@ -1337,15 +1353,9 @@ checkReplayEquivalence(uint64_t seed)
     const std::vector<uint64_t> a = simCounters(c, live);
     ReplaySource replay(mat);
     const std::vector<uint64_t> b = simCounters(c, replay);
-    static const char *const names[] = {
-        "instructions",    "cycles",           "ipc",
-        "l1Hits",          "l2Hits",           "llcHits",
-        "dramHits",        "l2DemandAccesses", "llcDemandMisses",
-        "prefetchIssued",  "prefetchTimely",   "prefetchLate",
-        "prefetchWrong"};
     for (size_t i = 0; i < a.size(); ++i) {
         if (a[i] != b[i])
-            return std::string("counter ") + names[i] +
+            return std::string("counter ") + kCoreCounterNames[i] +
                 " differs between the live-generator run and the "
                 "replay run (" +
                 formatSimCase(c) + ")";
@@ -1354,7 +1364,7 @@ checkReplayEquivalence(uint64_t seed)
 }
 
 // ---------------------------------------------------------------------
-// Serial-vs-parallel sweep oracle
+// Lockstep-vs-independent batch oracle
 // ---------------------------------------------------------------------
 
 namespace {
@@ -1366,6 +1376,180 @@ doubleBits(double v)
     std::memcpy(&bits, &v, sizeof(bits));
     return bits;
 }
+
+/** Bit patterns of the bandit policy's selectionScores(), or empty
+ *  for non-bandit prefetchers. */
+std::vector<uint64_t>
+banditScoreBits(const Prefetcher *pf)
+{
+    const auto *ctl =
+        dynamic_cast<const BanditPrefetchController *>(pf);
+    if (ctl == nullptr)
+        return {};
+    std::vector<uint64_t> bits;
+    for (double v : ctl->agent().policy().selectionScores())
+        bits.push_back(doubleBits(v));
+    return bits;
+}
+
+} // namespace
+
+std::string
+formatLockstepCase(const LockstepCase &c)
+{
+    std::ostringstream os;
+    os << "lockstep case: instr=" << c.instructions
+       << " phases=" << c.app.phases.size() << " seed=" << c.app.seed
+       << " cells=" << c.cells.size();
+    for (const LockstepCell &cell : c.cells)
+        os << " [pf=" << cell.prefetcher << " l1=" << cell.hier.l1.sizeBytes
+           << "B/" << cell.hier.l1.ways << "w l2=" << cell.hier.l2.sizeBytes
+           << "B/" << cell.hier.l2.ways << "w llc=" << cell.hier.llc.sizeBytes
+           << "B/" << cell.hier.llc.ways
+           << "w dramMtps=" << cell.dram.mtps << "]";
+    return os.str();
+}
+
+LockstepCase
+genLockstepCase(uint64_t seed)
+{
+    Rng rng(subSeed(seed, 80));
+    LockstepCase c;
+    // Workload comes from a base sim case; cell machine configs come
+    // from further independent draws so one batch mixes hierarchies,
+    // DRAM speeds and prefetchers (degenerate geometries included —
+    // genCacheGeometry can hand out 1-way and minimum-set caches).
+    const SimCase base = genSimCase(subSeed(seed, 81));
+    c.app = base.app;
+    c.instructions = 1200 + rng.below(1800);
+    const size_t cells = 2 + rng.below(3);
+    for (size_t i = 0; i < cells; ++i) {
+        const SimCase donor =
+            genSimCase(subSeed(seed, 90 + static_cast<uint64_t>(i)));
+        LockstepCell cell;
+        cell.hier = donor.hier;
+        cell.dram = donor.dram;
+        cell.prefetcher = donor.prefetcher;
+        c.cells.push_back(std::move(cell));
+    }
+    return c;
+}
+
+std::string
+diffLockstepCase(const LockstepCase &c)
+{
+    const uint64_t n = c.instructions;
+    const auto mat = std::make_shared<MaterializedTrace>(c.app, n);
+
+    // Independent leg: a private ReplaySource and CoreModel per cell,
+    // run sequentially to completion.
+    std::vector<std::vector<uint64_t>> want;
+    std::vector<std::vector<uint64_t>> want_scores;
+    for (const LockstepCell &cell : c.cells) {
+        std::unique_ptr<Prefetcher> pf =
+            makeSimPrefetcher(cell.prefetcher, c.app.seed);
+        ReplaySource src(mat);
+        CoreModel core(CoreConfig{}, cell.hier, src, pf.get(),
+                       nullptr, cell.dram);
+        core.run(n);
+        want.push_back(coreCounters(core));
+        want_scores.push_back(banditScoreBits(pf.get()));
+    }
+
+    // Lockstep leg: every cell advances over one shared stream.
+    LockstepBatch lb(mat, n);
+    std::vector<std::unique_ptr<Prefetcher>> pfs;
+    for (const LockstepCell &cell : c.cells) {
+        pfs.push_back(
+            makeSimPrefetcher(cell.prefetcher, c.app.seed));
+        lb.addCell(CoreConfig{}, cell.hier, cell.dram,
+                   pfs.back().get());
+    }
+    lb.run();
+
+    for (size_t i = 0; i < c.cells.size(); ++i) {
+        const std::vector<uint64_t> got = coreCounters(lb.core(i));
+        for (size_t k = 0; k < got.size(); ++k) {
+            if (got[k] != want[i][k])
+                return "cell " + std::to_string(i) + " counter " +
+                    kCoreCounterNames[k] +
+                    " differs between lockstep and independent "
+                    "execution (" +
+                    formatLockstepCase(c) + ")";
+        }
+        const std::vector<uint64_t> scores =
+            banditScoreBits(pfs[i].get());
+        if (scores != want_scores[i])
+            return "cell " + std::to_string(i) +
+                " selectionScores() differ between lockstep and "
+                "independent execution (" +
+                formatLockstepCase(c) + ")";
+    }
+    return "";
+}
+
+LockstepCase
+shrinkLockstepCase(const LockstepCase &c)
+{
+    LockstepCase cur = c;
+    const auto fails = [](const LockstepCase &t) {
+        return !diffLockstepCase(t).empty();
+    };
+    if (!fails(cur))
+        return cur;
+    // Drop cells one at a time (a batch needs at least two to be a
+    // lockstep case at all).
+    for (size_t i = 0; cur.cells.size() > 2 && i < cur.cells.size();) {
+        LockstepCase trial = cur;
+        trial.cells.erase(trial.cells.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        if (fails(trial))
+            cur = trial;
+        else
+            ++i;
+    }
+    while (cur.instructions > 256) {
+        LockstepCase trial = cur;
+        trial.instructions /= 2;
+        if (!fails(trial))
+            break;
+        cur = trial;
+    }
+    const auto tryKnob = [&](auto &&mutate) {
+        LockstepCase trial = cur;
+        mutate(trial);
+        if (fails(trial))
+            cur = trial;
+    };
+    for (size_t i = 0; i < cur.cells.size(); ++i) {
+        tryKnob([i](LockstepCase &t) {
+            t.cells[i].prefetcher = "None";
+        });
+        tryKnob([i](LockstepCase &t) {
+            t.cells[i].hier = HierarchyConfig{};
+        });
+        tryKnob([i](LockstepCase &t) {
+            t.cells[i].dram = DramConfig{};
+        });
+    }
+    tryKnob([](LockstepCase &t) {
+        if (t.app.phases.size() > 1)
+            t.app.phases.resize(1);
+    });
+    return cur;
+}
+
+std::string
+checkLockstepEquivalence(uint64_t seed)
+{
+    return diffLockstepCase(genLockstepCase(subSeed(seed, 4)));
+}
+
+// ---------------------------------------------------------------------
+// Serial-vs-parallel sweep oracle
+// ---------------------------------------------------------------------
+
+namespace {
 
 /** Pure, deterministic task: fingerprint of a reference-cache run
  *  plus a short bandit rollout, both derived from @p task_seed. */
@@ -1464,6 +1648,7 @@ FuzzReport::merge(const FuzzReport &other)
     banditCases += other.banditCases;
     simCases += other.simCases;
     replayCases += other.replayCases;
+    lockstepCases += other.lockstepCases;
     sweepCases += other.sweepCases;
     failures.insert(failures.end(), other.failures.begin(),
                     other.failures.end());
@@ -1529,6 +1714,19 @@ runFuzzIteration(uint64_t caseSeed, FuzzReport &report, bool shrink)
         if (!err.empty())
             report.failures.push_back(
                 {caseSeed, "replay", err, repro});
+    }
+    {
+        ++report.lockstepCases;
+        const LockstepCase lc = genLockstepCase(subSeed(caseSeed, 4));
+        std::string err = diffLockstepCase(lc);
+        if (!err.empty()) {
+            if (shrink) {
+                const LockstepCase min = shrinkLockstepCase(lc);
+                err += "\nminimized: " + formatLockstepCase(min);
+            }
+            report.failures.push_back(
+                {caseSeed, "lockstep", err, repro});
+        }
     }
     // The sweep oracle spawns threads; run it on a deterministic
     // subset of case seeds (~1 in 8) so long fuzz campaigns stay

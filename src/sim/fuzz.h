@@ -363,6 +363,53 @@ SimCase shrinkSimCase(const SimCase &c);
 std::string checkReplayEquivalence(uint64_t seed);
 
 // ---------------------------------------------------------------------
+// Lockstep-vs-independent batch oracle
+// ---------------------------------------------------------------------
+
+/** One cell of a lockstep batch case: a private machine configuration
+ *  over the case's shared workload stream. */
+struct LockstepCell
+{
+    HierarchyConfig hier;
+    DramConfig dram;
+    std::string prefetcher = "None";
+};
+
+/** A lockstep equivalence case: one workload, 2-4 heterogeneous
+ *  cells advancing over its shared materialized stream. */
+struct LockstepCase
+{
+    AppProfile app;
+    uint64_t instructions = 2000;
+    std::vector<LockstepCell> cells;
+};
+
+std::string formatLockstepCase(const LockstepCase &c);
+
+/** Generate a lockstep case: random workload plus 2-4 cells with
+ *  independent hierarchies, DRAM speeds and prefetchers (degenerate
+ *  geometries included). */
+LockstepCase genLockstepCase(uint64_t seed);
+
+/**
+ * Run the case's cells once through a LockstepBatch over one shared
+ * replay stream and once independently (a private ReplaySource per
+ * cell), then diff every end-to-end counter the bench helpers report
+ * AND — for bandit cells — the policy's selectionScores(), bit for
+ * bit. This is the fuzzed form of the batch engine's byte-identity
+ * contract. Returns "" on agreement, else the first divergence.
+ */
+std::string diffLockstepCase(const LockstepCase &c);
+
+/** Shrink a failing lockstep case: drop cells (keeping at least two),
+ *  halve the run, default the surviving cells' configs. */
+LockstepCase shrinkLockstepCase(const LockstepCase &c);
+
+/** diffLockstepCase over a freshly generated case (the per-iteration
+ *  entry point; shrinking is the driver's choice). */
+std::string checkLockstepEquivalence(uint64_t seed);
+
+// ---------------------------------------------------------------------
 // Serial-vs-parallel sweep oracle
 // ---------------------------------------------------------------------
 
@@ -394,7 +441,8 @@ struct FuzzOptions
 struct FuzzFailure
 {
     uint64_t caseSeed = 0;
-    std::string domain;  ///< "cache", "bandit", "sim", "sweep"
+    std::string domain;  ///< "cache", "bandit", "sim", "replay",
+                         ///< "lockstep", "sweep"
     std::string message; ///< divergence + (when shrunk) minimal case
     std::string repro;   ///< one-line replay command
 };
@@ -406,6 +454,7 @@ struct FuzzReport
     uint64_t banditCases = 0;
     uint64_t simCases = 0;
     uint64_t replayCases = 0;
+    uint64_t lockstepCases = 0;
     uint64_t sweepCases = 0;
     std::vector<FuzzFailure> failures;
 

@@ -1,0 +1,77 @@
+#include "sim/lockstep.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mab {
+
+std::vector<std::vector<size_t>>
+planLockstepBatches(const std::vector<std::string> &keys,
+                    size_t batchCap)
+{
+    if (batchCap == 0)
+        batchCap = 1;
+
+    // Group in submission order; emit groups in first-occurrence
+    // order so the plan is a pure function of the key sequence.
+    std::unordered_map<std::string, size_t> index;
+    std::vector<std::vector<size_t>> groups;
+    for (size_t i = 0; i < keys.size(); ++i) {
+        const auto [it, fresh] = index.emplace(keys[i], groups.size());
+        if (fresh)
+            groups.emplace_back();
+        groups[it->second].push_back(i);
+    }
+
+    std::vector<std::vector<size_t>> plan;
+    for (const std::vector<size_t> &g : groups) {
+        for (size_t off = 0; off < g.size(); off += batchCap) {
+            const size_t end = std::min(g.size(), off + batchCap);
+            plan.emplace_back(g.begin() + static_cast<ptrdiff_t>(off),
+                              g.begin() + static_cast<ptrdiff_t>(end));
+        }
+    }
+    return plan;
+}
+
+LockstepBatch::LockstepBatch(std::shared_ptr<MaterializedTrace> trace,
+                             uint64_t records)
+    : trace_(std::move(trace)), src_(trace_), records_(records)
+{
+    if (records_ > src_.size())
+        throw std::invalid_argument(
+            "LockstepBatch: record budget " + std::to_string(records_) +
+            " exceeds the trace size " + std::to_string(src_.size()));
+}
+
+size_t
+LockstepBatch::addCell(const CoreConfig &core,
+                       const HierarchyConfig &hier,
+                       const DramConfig &dram, Prefetcher *l2,
+                       Prefetcher *l1)
+{
+    if (pos_ != 0)
+        throw std::logic_error(
+            "LockstepBatch: addCell after the stream advanced — the "
+            "new cell would never see the records already delivered");
+    // The cell's trace reference is the shared source, but the cell
+    // never pulls from it: records are pushed via stepPacked() so one
+    // fetch feeds every cell.
+    cores_.push_back(std::make_unique<CoreModel>(core, hier, src_, l2,
+                                                 l1, dram));
+    plane_.push_back(cores_.back().get());
+    return plane_.size() - 1;
+}
+
+void
+LockstepBatch::advance(uint64_t records)
+{
+    const uint64_t n = std::min(records, records_ - pos_);
+    CoreModel *const *cells = plane_.data();
+    pos_ += lockstepPump(src_, n, plane_.size(),
+                         [cells](size_t c, const PackedRecord &rec) {
+                             cells[c]->stepPacked(rec);
+                         });
+}
+
+} // namespace mab

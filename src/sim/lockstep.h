@@ -1,0 +1,167 @@
+#ifndef MAB_SIM_LOCKSTEP_H
+#define MAB_SIM_LOCKSTEP_H
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/core_model.h"
+#include "trace/replay.h"
+
+namespace mab {
+
+/**
+ * Batch-lockstep simulation over a shared replay trace.
+ *
+ * After the trace arena (trace/replay.h) removed repeated generation,
+ * every sweep cell over the same workload still walks the same
+ * PackedRecord stream independently at ~5.6 ns/record. A LockstepBatch
+ * advances N simulator instances in lockstep over ONE ReplaySource:
+ * each pump round fetches a cache-resident block of records once and
+ * feeds it to every cell, so the per-record fetch cost (bounds check,
+ * frontier resolution, chunk-pointer chasing, recording on the first
+ * run) is amortized across the batch.
+ *
+ * Hot-state layout: the engine does NOT rebuild the caches as
+ * tag/LRU/valid planes — per-cell cache state is the simulator's own,
+ * because the batch must accept heterogeneous cell configurations
+ * (different hierarchies, DRAM speeds, prefetchers) and its output
+ * must stay byte-identical to independent execution. What *is* laid
+ * out structure-of-arrays is the batch's own hot state: the record
+ * round buffer (one contiguous 16 KB block reused every round) and the
+ * cell plane (a contiguous array of CoreModel pointers scanned
+ * linearly per round), so the probe loop is a branch-light linear walk
+ * with no per-record indirection through ownership containers.
+ *
+ * Hard invariant (the contract every test in tests/test_lockstep.cc,
+ * the fuzz oracle in sim/fuzz.cc and scripts/check_arena_identity.sh
+ * enforce): lockstep output is byte-identical to independent
+ * execution, at every batch size and jobs count. This holds by
+ * construction — CoreModel consumes exactly one record per
+ * instruction, and CoreModel::stepPacked() is the same instantiation
+ * the independent replay run loop uses — so batching changes only
+ * *when* each cell's instructions execute, never *what* they observe.
+ */
+
+/**
+ * Fetch @p records packed records from @p src once and deliver each to
+ * @p cells sinks: sink(cell, record) is called for every (cell,
+ * record) pair, cell-major within a round so each cell executes a
+ * cache-warm burst of consecutive instructions.
+ *
+ * This is the delivery loop both LockstepBatch::advance() and the
+ * BM_LockstepStep microbench run — the benchmark measures the real
+ * machinery, not a copy of it. Returns the records consumed
+ * (always @p records; the source throws on exhaustion).
+ */
+template <typename Sink>
+uint64_t
+lockstepPump(ReplaySource &src, uint64_t records, size_t cells,
+             Sink &&sink)
+{
+    /** Round size: 1024 records = 16 KB, L1-resident, so every cell
+     *  after the first reads the round from cache. */
+    constexpr uint64_t kRoundRecords = 1024;
+    PackedRecord round[kRoundRecords];
+    uint64_t done = 0;
+    while (done < records) {
+        const uint64_t n =
+            std::min<uint64_t>(kRoundRecords, records - done);
+        for (uint64_t j = 0; j < n; ++j)
+            round[j] = src.nextPacked();
+        for (size_t c = 0; c < cells; ++c) {
+            for (uint64_t j = 0; j < n; ++j)
+                sink(c, round[j]);
+        }
+        done += n;
+    }
+    return done;
+}
+
+/**
+ * Group sweep cells into lockstep batches. @p keys[i] is the
+ * compatibility key of cell i (same key = same record stream; the
+ * bench harness uses profileFingerprint(profile) + "#" + instructions).
+ * Cells sharing a key are grouped in submission order, groups are
+ * emitted in first-occurrence order, and each group is split into
+ * batches of at most @p batchCap cells. Singleton batches are still
+ * returned — the caller decides whether to run them through the
+ * engine or the per-task path.
+ *
+ * Pure and deterministic: the plan depends only on (keys, batchCap),
+ * never on scheduling, so meta.lockstep can be computed up front.
+ */
+std::vector<std::vector<size_t>>
+planLockstepBatches(const std::vector<std::string> &keys,
+                    size_t batchCap);
+
+/**
+ * N simulator instances advancing in lockstep over one shared
+ * ReplaySource stream.
+ *
+ * Usage: construct over a materialized trace, addCell() every
+ * configuration (all cells must be added before the first advance —
+ * a late cell would miss records), then run() (or advance() in
+ * slices, e.g. to interleave with arena mutations in tests). After
+ * the run, read results straight off core(i).
+ */
+class LockstepBatch
+{
+  public:
+    /**
+     * Batch over the first @p records of @p trace. Throws
+     * std::invalid_argument when the trace holds fewer records.
+     */
+    LockstepBatch(std::shared_ptr<MaterializedTrace> trace,
+                  uint64_t records);
+
+    LockstepBatch(const LockstepBatch &) = delete;
+    LockstepBatch &operator=(const LockstepBatch &) = delete;
+
+    /**
+     * Add one cell: a private CoreModel over @p hier / @p dram with
+     * @p l2 (and optionally @p l1) prefetching. Returns the cell
+     * index. Throws std::logic_error once the stream has advanced.
+     */
+    size_t addCell(const CoreConfig &core, const HierarchyConfig &hier,
+                   const DramConfig &dram, Prefetcher *l2,
+                   Prefetcher *l1 = nullptr);
+
+    /**
+     * Advance every cell by min(@p records, remaining) instructions,
+     * pumping the shared stream through lockstepPump().
+     */
+    void advance(uint64_t records);
+
+    /** Advance to the end of the record budget. */
+    void run() { advance(records_ - pos_); }
+
+    /** Records delivered to every cell so far. */
+    uint64_t position() const { return pos_; }
+
+    /** Total record budget of the batch. */
+    uint64_t records() const { return records_; }
+
+    size_t cells() const { return plane_.size(); }
+
+    CoreModel &core(size_t cell) { return *plane_[cell]; }
+    const CoreModel &core(size_t cell) const { return *plane_[cell]; }
+
+  private:
+    std::shared_ptr<MaterializedTrace> trace_;
+    ReplaySource src_;
+    uint64_t records_;
+    uint64_t pos_ = 0;
+
+    /** Cell ownership (CoreModel is not movable: it holds references
+     *  into its own hierarchy). */
+    std::vector<std::unique_ptr<CoreModel>> cores_;
+    /** The hot plane: contiguous cell pointers the pump loop scans. */
+    std::vector<CoreModel *> plane_;
+};
+
+} // namespace mab
+
+#endif // MAB_SIM_LOCKSTEP_H

@@ -179,5 +179,67 @@ TEST(ResolveJobs, DuplicateFlagIsAUsageError)
     EXPECT_NE(err.find("duplicate --jobs"), std::string::npos) << err;
 }
 
+TEST(ResolveBatch, DefaultsToOff)
+{
+    Args args({});
+    int batch = -1;
+    EXPECT_EQ(resolveBatch(args.argc(), args.argv(), nullptr, &batch),
+              "");
+    EXPECT_EQ(batch, 0) << "lockstep batching is opt-in";
+}
+
+TEST(ResolveBatch, FlagAndEnvSelectTheCap)
+{
+    Args args({"--batch", "8"});
+    int batch = -1;
+    EXPECT_EQ(resolveBatch(args.argc(), args.argv(), "2", &batch),
+              "");
+    EXPECT_EQ(batch, 8) << "the flag outranks the environment";
+
+    Args noflag({});
+    EXPECT_EQ(
+        resolveBatch(noflag.argc(), noflag.argv(), "2", &batch), "");
+    EXPECT_EQ(batch, 2);
+}
+
+TEST(ResolveBatch, NegativeCapIsAUsageError)
+{
+    Args args({"--batch", "-4"});
+    int batch = -1;
+    const std::string err =
+        resolveBatch(args.argc(), args.argv(), nullptr, &batch);
+    EXPECT_NE(err.find("usage error"), std::string::npos) << err;
+    EXPECT_EQ(batch, 0) << "the out-param stays at the safe default";
+}
+
+TEST(ResolveBatch, NonNumericCapIsAUsageError)
+{
+    Args args({"--batch", "all"});
+    int batch = -1;
+    const std::string err =
+        resolveBatch(args.argc(), args.argv(), nullptr, &batch);
+    EXPECT_NE(err.find("usage error"), std::string::npos) << err;
+    EXPECT_EQ(batch, 0);
+}
+
+TEST(ResolveBatch, NegativeEnvironmentIsAUsageErrorToo)
+{
+    Args args({});
+    int batch = -1;
+    const std::string err =
+        resolveBatch(args.argc(), args.argv(), "-1", &batch);
+    EXPECT_NE(err.find("usage error"), std::string::npos) << err;
+}
+
+TEST(ResolveBatch, DuplicateFlagIsAUsageError)
+{
+    Args args({"--batch", "2", "--batch", "8"});
+    int batch = -1;
+    const std::string err =
+        resolveBatch(args.argc(), args.argv(), nullptr, &batch);
+    EXPECT_NE(err.find("duplicate --batch"), std::string::npos)
+        << err;
+}
+
 } // namespace
 } // namespace mab::bench

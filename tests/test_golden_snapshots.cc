@@ -14,6 +14,7 @@
 #include "cpu/multicore.h"
 #include "prefetch/stride.h"
 #include "sim/json.h"
+#include "sim/lockstep.h"
 #include "sim/parallel.h"
 #include "sim/stats_registry.h"
 #include "smt/smt_sim.h"
@@ -312,6 +313,67 @@ TEST(GoldenSnapshot, SmtBandit)
 TEST(GoldenSnapshot, MultiCoreShared)
 {
     checkAgainstGolden("multicore", snapshot("multicore"));
+}
+
+/** The singlecore scenarios recomputed through a LockstepBatch, with
+ *  a heterogeneous rider cell sharing each batch's stream. */
+json::Value
+lockstepSnapshot(const std::string &scenario)
+{
+    const uint64_t instr = 150'000;
+    const auto acquire = [&](const char *app) {
+        TraceArena &arena = TraceArena::global();
+        return arena.enabled()
+            ? arena.acquireTrace(appByName(app), instr)
+            : MaterializedTrace::generate(appByName(app), instr);
+    };
+
+    if (scenario == "singlecore_stride") {
+        StridePrefetcher pf(64, 1);
+        BanditPrefetchController rider(scaledBanditConfig());
+        LockstepBatch lb(acquire("lbm06"), instr);
+        lb.addCell(CoreConfig{}, HierarchyConfig{}, DramConfig{},
+                   &pf);
+        lb.addCell(CoreConfig{}, HierarchyConfig{}, DramConfig{},
+                   &rider);
+        lb.run();
+        StatsRegistry reg;
+        reg.setCounter("meta.instructions", instr);
+        lb.core(0).exportStats(reg, "core");
+        return wrap(scenario, reg);
+    }
+    // "singlecore_bandit"
+    BanditPrefetchController pf(scaledBanditConfig());
+    StridePrefetcher rider(64, 1);
+    LockstepBatch lb(acquire("bwaves06"), instr);
+    lb.addCell(CoreConfig{}, HierarchyConfig{}, DramConfig{}, &pf);
+    lb.addCell(CoreConfig{}, HierarchyConfig{}, DramConfig{},
+               &rider);
+    lb.run();
+    StatsRegistry reg;
+    reg.setCounter("meta.instructions", instr);
+    lb.core(0).exportStats(reg, "core");
+    pf.exportStats(reg, "bandit");
+    return wrap(scenario, reg);
+}
+
+TEST(GoldenSnapshot, LockstepBatchingLeavesGoldensUnchanged)
+{
+    // The batch engine's byte-identity contract at golden scale:
+    // recomputing the singlecore scenarios through a LockstepBatch
+    // (each with a rider cell of a different prefetcher sharing the
+    // stream) must serialize to the very bytes the per-run snapshots
+    // produce — so MAB_UPDATE_GOLDENS=1 with batching enabled
+    // regenerates identical files, i.e. no golden diff.
+    for (const char *scenario :
+         {"singlecore_stride", "singlecore_bandit"}) {
+        const json::Value snap = lockstepSnapshot(scenario);
+        if (!updateMode())
+            EXPECT_EQ(snap.dump(2), snapshot(scenario).dump(2))
+                << scenario
+                << " diverged between lockstep and per-run export";
+        checkAgainstGolden(scenario, snap);
+    }
 }
 
 TEST(GoldenSnapshot, ExportIsDeterministicWithinProcess)

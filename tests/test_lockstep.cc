@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/lockstep.h"
+
+#include "common.h"
+
+/**
+ * Batch-lockstep engine tests (tier 1): the hard invariant is that a
+ * LockstepBatch produces byte-identical results to independent
+ * execution for every batch size, cell mix and jobs count — batching
+ * changes only *when* each cell's instructions execute, never *what*
+ * they observe.
+ */
+
+namespace mab {
+namespace {
+
+using bench::PfTask;
+using bench::sweepPrefetchRuns;
+
+/** Bit pattern of a double (exact comparison, no FP tolerance). */
+uint64_t
+bits(double v)
+{
+    uint64_t b = 0;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
+
+/** Every end-to-end counter a run exports, bit-exact. */
+std::vector<uint64_t>
+counters(const CoreModel &core)
+{
+    const CacheHierarchy &h = core.hierarchy();
+    const PrefetchStats &ps = h.prefetchStats();
+    return {core.instructions(),
+            core.cycles(),
+            bits(core.ipc()),
+            h.hitsAt(HitLevel::L1),
+            h.hitsAt(HitLevel::L2),
+            h.hitsAt(HitLevel::Llc),
+            h.hitsAt(HitLevel::Dram),
+            h.l2DemandAccesses(),
+            h.llcDemandMisses(),
+            ps.issued,
+            ps.timely,
+            ps.late,
+            ps.wrong};
+}
+
+/** Independent reference: private ReplaySource + CoreModel. */
+std::vector<uint64_t>
+independentRun(const std::shared_ptr<MaterializedTrace> &trace,
+               uint64_t instr, const HierarchyConfig &hier,
+               const DramConfig &dram, const std::string &pf_name)
+{
+    auto pf = bench::makePrefetcher(pf_name, 7);
+    ReplaySource src(trace);
+    CoreModel core(CoreConfig{}, hier, src, pf.get(), nullptr, dram);
+    core.run(instr);
+    return counters(core);
+}
+
+/** Lockstep leg over n identical-workload cells; returns per-cell
+ *  counters. */
+std::vector<std::vector<uint64_t>>
+lockstepRun(const std::shared_ptr<MaterializedTrace> &trace,
+            uint64_t instr,
+            const std::vector<HierarchyConfig> &hiers,
+            const std::vector<DramConfig> &drams,
+            const std::vector<std::string> &pfs)
+{
+    LockstepBatch lb(trace, instr);
+    std::vector<std::unique_ptr<Prefetcher>> owned;
+    for (size_t i = 0; i < pfs.size(); ++i) {
+        owned.push_back(bench::makePrefetcher(pfs[i], 7));
+        lb.addCell(CoreConfig{}, hiers[i], drams[i],
+                   owned.back().get());
+    }
+    lb.run();
+    std::vector<std::vector<uint64_t>> out;
+    for (size_t i = 0; i < lb.cells(); ++i)
+        out.push_back(counters(lb.core(i)));
+    return out;
+}
+
+TEST(LockstepBatch, MatchesIndependentAtEveryBatchSize)
+{
+    const uint64_t instr = 20'000;
+    const auto trace =
+        MaterializedTrace::generate(appByName("lbm06"), instr);
+    const std::vector<uint64_t> want = independentRun(
+        trace, instr, HierarchyConfig{}, DramConfig{}, "Stride");
+
+    for (size_t cells : {1u, 2u, 7u, 64u}) {
+        const std::vector<HierarchyConfig> hiers(cells);
+        const std::vector<DramConfig> drams(cells);
+        const std::vector<std::string> pfs(cells, "Stride");
+        const auto got =
+            lockstepRun(trace, instr, hiers, drams, pfs);
+        ASSERT_EQ(got.size(), cells);
+        for (size_t i = 0; i < cells; ++i)
+            EXPECT_EQ(got[i], want)
+                << "cell " << i << " of " << cells;
+    }
+}
+
+TEST(LockstepBatch, HeterogeneousCellsInOneBatch)
+{
+    const uint64_t instr = 20'000;
+    const auto trace =
+        MaterializedTrace::generate(appByName("mcf06"), instr);
+
+    HierarchyConfig small;
+    small.l1.sizeBytes = 4 * 1024;
+    small.l2.sizeBytes = 32 * 1024;
+    small.llc.sizeBytes = 256 * 1024;
+    DramConfig slow;
+    slow.mtps = 150.0;
+
+    const std::vector<HierarchyConfig> hiers = {
+        HierarchyConfig{}, small, HierarchyConfig{}, small};
+    const std::vector<DramConfig> drams = {
+        DramConfig{}, DramConfig{}, slow, slow};
+    const std::vector<std::string> pfs = {"None", "Stride", "Bandit",
+                                          "Pythia"};
+
+    const auto got = lockstepRun(trace, instr, hiers, drams, pfs);
+    for (size_t i = 0; i < pfs.size(); ++i) {
+        const std::vector<uint64_t> want = independentRun(
+            trace, instr, hiers[i], drams[i], pfs[i]);
+        EXPECT_EQ(got[i], want) << "cell " << i << " (" << pfs[i]
+                                << ") diverged from its "
+                                   "independent run";
+    }
+}
+
+TEST(LockstepBatch, DegenerateCacheGeometries)
+{
+    const uint64_t instr = 10'000;
+    const auto trace =
+        MaterializedTrace::generate(appByName("bwaves06"), instr);
+
+    // 1-way (direct-mapped) everywhere, and a single-set L1.
+    HierarchyConfig direct;
+    direct.l1.ways = 1;
+    direct.l2.ways = 1;
+    direct.llc.ways = 1;
+    HierarchyConfig oneSet;
+    oneSet.l1.ways = 4;
+    oneSet.l1.sizeBytes = 4 * kLineBytes; // 4 ways x 1 set
+
+    const std::vector<HierarchyConfig> hiers = {direct, oneSet};
+    const std::vector<DramConfig> drams(2);
+    const std::vector<std::string> pfs = {"Stride", "Stride"};
+
+    const auto got = lockstepRun(trace, instr, hiers, drams, pfs);
+    for (size_t i = 0; i < 2; ++i) {
+        const std::vector<uint64_t> want = independentRun(
+            trace, instr, hiers[i], drams[i], pfs[i]);
+        EXPECT_EQ(got[i], want) << "degenerate geometry cell " << i;
+    }
+}
+
+TEST(LockstepBatch, SurvivesMidStreamArenaEviction)
+{
+    TraceArena &arena = TraceArena::global();
+    arena.clear();
+    const uint64_t saved_budget = arena.budgetBytes();
+    const uint64_t instr = 20'000;
+    const AppProfile app = appByName("lbm06");
+
+    const std::vector<uint64_t> want =
+        independentRun(arena.acquireTrace(app, instr), instr,
+                       HierarchyConfig{}, DramConfig{}, "Stride");
+
+    // A batch holds a shared_ptr to its trace: evicting the arena
+    // entry mid-run must not disturb the stream. Squeeze the budget
+    // so every further acquire evicts the previous tenant.
+    auto pf0 = bench::makePrefetcher("Stride", 7);
+    auto pf1 = bench::makePrefetcher("Stride", 7);
+    LockstepBatch lb(arena.acquireTrace(app, instr), instr);
+    lb.addCell(CoreConfig{}, HierarchyConfig{}, DramConfig{},
+               pf0.get());
+    lb.addCell(CoreConfig{}, HierarchyConfig{}, DramConfig{},
+               pf1.get());
+
+    arena.setBudgetBytes(1);
+    uint64_t churn_seed = 1;
+    while (lb.position() < lb.records()) {
+        lb.advance(4'000);
+        // Churn the arena between slices.
+        AppProfile other = appByName("mcf06");
+        other.seed += churn_seed++;
+        arena.acquireTrace(other, 1'000);
+    }
+    EXPECT_GT(arena.stats().evictions, 0u);
+
+    for (size_t i = 0; i < 2; ++i)
+        EXPECT_EQ(counters(lb.core(i)), want)
+            << "cell " << i << " diverged across arena churn";
+
+    arena.setBudgetBytes(saved_budget);
+    arena.clear();
+}
+
+TEST(LockstepBatch, AddCellAfterAdvanceThrows)
+{
+    const auto trace =
+        MaterializedTrace::generate(appByName("lbm06"), 2'000);
+    auto pf = bench::makePrefetcher("None", 7);
+    LockstepBatch lb(trace, 2'000);
+    lb.addCell(CoreConfig{}, HierarchyConfig{}, DramConfig{},
+               pf.get());
+    lb.advance(100);
+    EXPECT_THROW(lb.addCell(CoreConfig{}, HierarchyConfig{},
+                            DramConfig{}, pf.get()),
+                 std::logic_error);
+}
+
+TEST(LockstepBatch, RecordBudgetBeyondTraceThrows)
+{
+    const auto trace =
+        MaterializedTrace::generate(appByName("lbm06"), 1'000);
+    EXPECT_THROW(LockstepBatch(trace, 1'001), std::invalid_argument);
+}
+
+TEST(PlanLockstepBatches, GroupsByKeyInFirstOccurrenceOrder)
+{
+    const std::vector<std::string> keys = {"a", "b", "a", "c",
+                                           "b", "a"};
+    const auto plan = planLockstepBatches(keys, 8);
+    ASSERT_EQ(plan.size(), 3u);
+    EXPECT_EQ(plan[0], (std::vector<size_t>{0, 2, 5}));
+    EXPECT_EQ(plan[1], (std::vector<size_t>{1, 4}));
+    EXPECT_EQ(plan[2], (std::vector<size_t>{3}));
+}
+
+TEST(PlanLockstepBatches, SplitsGroupsAtTheCap)
+{
+    const std::vector<std::string> keys(7, "k");
+    const auto plan = planLockstepBatches(keys, 3);
+    ASSERT_EQ(plan.size(), 3u);
+    EXPECT_EQ(plan[0], (std::vector<size_t>{0, 1, 2}));
+    EXPECT_EQ(plan[1], (std::vector<size_t>{3, 4, 5}));
+    EXPECT_EQ(plan[2], (std::vector<size_t>{6}));
+}
+
+TEST(PlanLockstepBatches, CapZeroBehavesAsOne)
+{
+    const std::vector<std::string> keys = {"k", "k"};
+    const auto plan = planLockstepBatches(keys, 0);
+    ASSERT_EQ(plan.size(), 2u);
+    EXPECT_EQ(plan[0], (std::vector<size_t>{0}));
+    EXPECT_EQ(plan[1], (std::vector<size_t>{1}));
+}
+
+/** The bench-harness entry: batched sweeps must be byte-identical to
+ *  the unbatched path at every jobs count. */
+TEST(SweepPrefetchRuns, ByteIdenticalAcrossBatchAndJobs)
+{
+    TraceArena &arena = TraceArena::global();
+    arena.clear();
+    const uint64_t instr = 8'000;
+    std::vector<PfTask> tasks;
+    for (const char *app : {"lbm06", "mcf06"})
+        for (const char *pf : {"None", "Stride", "Bandit"})
+            tasks.push_back(
+                {appByName(app), pf, instr, {}, {}, 0, {}});
+
+    const auto fingerprint =
+        [](const std::vector<bench::PfRun> &runs) {
+            std::vector<uint64_t> fp;
+            for (const bench::PfRun &r : runs) {
+                fp.push_back(bits(r.ipc));
+                fp.push_back(r.pf.issued);
+                fp.push_back(r.pf.timely);
+                fp.push_back(r.pf.late);
+                fp.push_back(r.pf.wrong);
+                fp.push_back(r.llcDemandMisses);
+                fp.push_back(r.l2DemandAccesses);
+                fp.push_back(r.instructions);
+            }
+            return fp;
+        };
+
+    const auto base = fingerprint(sweepPrefetchRuns(1, 0, tasks));
+    EXPECT_EQ(fingerprint(sweepPrefetchRuns(1, 3, tasks)), base)
+        << "batch 3 / jobs 1 diverged from unbatched";
+    EXPECT_EQ(fingerprint(sweepPrefetchRuns(4, 3, tasks)), base)
+        << "batch 3 / jobs 4 diverged from unbatched";
+    EXPECT_EQ(fingerprint(sweepPrefetchRuns(4, 64, tasks)), base)
+        << "batch 64 / jobs 4 diverged from unbatched";
+    arena.clear();
+}
+
+} // namespace
+} // namespace mab
