@@ -16,6 +16,7 @@ main(int argc, char **argv)
     TracingSession observability(argc, argv);
     const int jobs = benchJobs(argc, argv);
     const int batch = benchBatch(argc, argv);
+    benchShards(argc, argv);
     const uint64_t instr = scaled(1'000'000);
     const HierarchyConfig hier = skylakeLikeAltConfig();
     const auto pf_names = comparisonPrefetchers();
@@ -31,6 +32,8 @@ main(int argc, char **argv)
     }
     const std::vector<PfRun> runs =
         sweepPrefetchRuns(jobs, batch, grid);
+    if (shardPartialDone(argc, argv))
+        return 0;
 
     std::map<std::string, std::vector<double>> speedups;
     size_t g = 0;

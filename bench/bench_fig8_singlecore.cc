@@ -20,6 +20,7 @@ main(int argc, char **argv)
     TracingSession observability(argc, argv);
     const int jobs = benchJobs(argc, argv);
     const int batch = benchBatch(argc, argv);
+    benchShards(argc, argv);
     const uint64_t instr = scaled(1'000'000);
     const auto pf_names = comparisonPrefetchers();
     const auto workloads = allWorkloads();
@@ -36,6 +37,8 @@ main(int argc, char **argv)
     }
     const std::vector<PfRun> runs =
         sweepPrefetchRuns(jobs, batch, grid);
+    if (shardPartialDone(argc, argv))
+        return 0;
 
     // speedups[pf][suite] -> per-app normalized IPCs.
     std::map<std::string, std::map<std::string, std::vector<double>>>

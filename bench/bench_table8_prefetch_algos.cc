@@ -23,6 +23,7 @@ main(int argc, char **argv)
     TracingSession observability(argc, argv);
     const int jobs = benchJobs(argc, argv);
     const int batch = benchBatch(argc, argv);
+    benchShards(argc, argv);
     const uint64_t instr = scaled(1'500'000);
     const auto tune = tuneSetPrefetch();
 
@@ -62,6 +63,8 @@ main(int argc, char **argv)
     }
     const std::vector<PfRun> runs =
         sweepPrefetchRuns(jobs, batch, grid);
+    if (shardPartialDone(argc, argv))
+        return 0;
     std::vector<double> ipcs;
     ipcs.reserve(runs.size());
     for (const PfRun &r : runs)

@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <string>
@@ -36,6 +37,7 @@
 #include "sim/json.h"
 #include "sim/lockstep.h"
 #include "sim/parallel.h"
+#include "sim/shard.h"
 #include "sim/stats.h"
 #include "sim/tracing.h"
 #include "trace/replay.h"
@@ -231,6 +233,14 @@ struct LockstepMeta
     /** Record fetches avoided: sum over batches of
      *  records x (cells - 1). */
     uint64_t recordsShared = 0;
+    /** Wall-clock split over all executed batches: stream fetches vs
+     *  cell simulation (sim/lockstep.h:LockstepTimes). Shows why a
+     *  bigger batch stops moving wall-clock once deliveryMs is small
+     *  against computeMs — e.g. batch 8 cuts ns/record ~7x while the
+     *  fig8 sweep's wall-clock at jobs 1 barely moves, because
+     *  delivery was already a sliver of each batch's runtime. */
+    uint64_t deliveryNs = 0;
+    uint64_t computeNs = 0;
 };
 
 inline LockstepMeta &
@@ -317,6 +327,79 @@ sweepMap(int jobs, size_t n, Fn &&fn)
 }
 
 /**
+ * Lossless JSON transport of one sweep result type, for shard
+ * partials. Integers ride as native JSON integers (the writer emits
+ * them exactly); doubles must go through encodeDouble/decodeDouble —
+ * the bit pattern as a hex string — because the JSON writer rounds
+ * non-finite doubles to null, and the merge must hand the aggregation
+ * code the *identical* value the worker computed.
+ */
+template <typename T>
+struct ShardCodec
+{
+    std::function<json::Value(const T &)> encode;
+    std::function<T(const json::Value &)> decode;
+};
+
+/** Codec for plain-double sweeps (most ablation grids). */
+inline ShardCodec<double>
+doubleCodec()
+{
+    return {[](const double &d) {
+                return json::Value(encodeDouble(d));
+            },
+            [](const json::Value &v) {
+                return decodeDouble(v.asString());
+            }};
+}
+
+/**
+ * Shard-aware sweepMap: the one call a sharded bench binary routes
+ * each independent sweep through.
+ *
+ *  - Off: exactly sweepMap (the unsharded path).
+ *  - Worker: runs only the cells this shard owns (i % N == K) through
+ *    sweepMap, records the encoded results for the partial report,
+ *    and returns a grid-sized vector with the unowned slots
+ *    default-constructed — the worker's own aggregation output is
+ *    garbage by design; the driver discards worker stdout and only
+ *    the partial leaves the process (shardPartialDone()).
+ *  - Merge: runs nothing and returns every cell decoded from the
+ *    loaded partials, so aggregation and printing downstream see
+ *    exactly what an unsharded run would have computed.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+shardedSweep(int jobs, size_t n, const ShardCodec<T> &codec, Fn &&fn)
+{
+    ShardSession &sh = ShardSession::global();
+    if (sh.mode() == ShardSession::Mode::Merge) {
+        std::vector<json::Value> vals = sh.takeSweep(n);
+        std::vector<T> out;
+        out.reserve(n);
+        for (const json::Value &v : vals)
+            out.push_back(codec.decode(v));
+        return out;
+    }
+    if (sh.mode() == ShardSession::Mode::Worker) {
+        const std::vector<size_t> owned = sh.ownedIndices(n);
+        std::vector<T> sub = sweepMap<T>(
+            jobs, owned.size(),
+            [&](size_t k) { return fn(owned[k]); });
+        std::vector<json::Value> vals;
+        vals.reserve(sub.size());
+        for (const T &r : sub)
+            vals.push_back(codec.encode(r));
+        sh.recordSweep(n, owned, std::move(vals));
+        std::vector<T> out(n);
+        for (size_t k = 0; k < owned.size(); ++k)
+            out[owned[k]] = std::move(sub[k]);
+        return out;
+    }
+    return sweepMap<T>(jobs, n, std::forward<Fn>(fn));
+}
+
+/**
  * Structured-output destination: `--json <path>` on the command line,
  * else the MAB_BENCH_JSON environment variable, else none. Every
  * bench binary keeps printing its human-readable table; the JSON file
@@ -329,6 +412,170 @@ jsonOutPath(int argc, char **argv)
     if (const char *path = argValue(argc, argv, "--json"))
         return path;
     return std::getenv("MAB_BENCH_JSON");
+}
+
+/** The binary's basename — the bench identity stamped into shard
+ *  partials so merging fig9 partials into fig8 fails loudly. */
+inline std::string
+benchName(const char *argv0)
+{
+    const std::string s = argv0 ? argv0 : "";
+    const size_t slash = s.find_last_of('/');
+    return slash == std::string::npos ? s : s.substr(slash + 1);
+}
+
+/**
+ * Testable core of benchShards(): resolve `--shards N` / `--shard-id
+ * K` (env fallbacks MAB_BENCH_SHARDS / MAB_BENCH_SHARD_ID — flags
+ * win, so a CI matrix can export the count and pass per-job ids).
+ * Same strict validation as resolveJobs/resolveBatch: a duplicate,
+ * non-numeric, non-positive shard count, a negative shard id, an id
+ * without a count, or an id >= the count is a usage error — reported
+ * here, exit 2 in benchShards().
+ */
+inline std::string
+resolveShards(int argc, char **argv, const char *envShards,
+              const char *envId, ShardSpec *out)
+{
+    *out = ShardSpec{};
+    const char *vs = nullptr;
+    const char *vi = nullptr;
+    std::string err = findFlagValue(argc, argv, "--shards", &vs);
+    if (!err.empty())
+        return err;
+    err = findFlagValue(argc, argv, "--shard-id", &vi);
+    if (!err.empty())
+        return err;
+    if (!vs)
+        vs = envShards;
+    if (!vi)
+        vi = envId;
+    if (vs) {
+        int64_t n = 0;
+        if (!parseInt64(vs, &n) || n < 1)
+            return std::string("usage error: --shards needs a "
+                               "positive integer, got '") +
+                vs + "'";
+        out->shards = static_cast<int>(std::min<int64_t>(n, 1 << 12));
+    }
+    if (vi) {
+        if (!vs)
+            return "usage error: --shard-id needs --shards (or "
+                   "MAB_BENCH_SHARDS)";
+        int64_t k = 0;
+        if (!parseInt64(vi, &k) || k < 0)
+            return std::string("usage error: --shard-id needs a "
+                               "non-negative integer, got '") +
+                vi + "'";
+        if (k >= out->shards)
+            return "usage error: --shard-id " + std::to_string(k) +
+                " must be below --shards " +
+                std::to_string(out->shards);
+        out->shardId = static_cast<int>(k);
+    }
+    return "";
+}
+
+/**
+ * Configure the process's shard role; call after benchJobs/benchBatch
+ * (the spawn below must happen before any SweepRunner thread exists —
+ * forking a multithreaded process is where the dragons live).
+ *
+ *  - no shard flags: Off, nothing happens.
+ *  - `--shards N --shard-id K`: worker K of N. Requires --json (the
+ *    partial report is the worker's entire product).
+ *  - `--shards N` alone: driver — spawn N workers of this very
+ *    binary over a shared trace-arena directory, merge their
+ *    partials, and continue main() in merge mode, so the process's
+ *    output is byte-identical to an unsharded run (modulo meta).
+ *  - `--merge-reports a.json,b.json,...`: merge independently-run
+ *    workers' partials (CI matrix mode), same continuation.
+ *
+ * Like --jobs/--batch, sharding is clamped off when a tracing/audit
+ * sink is open: N traced processes would write N timelines.
+ */
+inline void
+benchShards(int argc, char **argv)
+{
+    const char *mergeList = argValue(argc, argv, "--merge-reports");
+    ShardSpec spec;
+    const std::string err = resolveShards(
+        argc, argv, std::getenv("MAB_BENCH_SHARDS"),
+        std::getenv("MAB_BENCH_SHARD_ID"), &spec);
+    if (!err.empty()) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        std::exit(2);
+    }
+    const std::string bench = benchName(argv[0]);
+    const std::string scaleHex = encodeDouble(benchScale());
+    ShardSession &sh = ShardSession::global();
+
+    if (mergeList) {
+        if (spec.shards > 1 || spec.shardId >= 0) {
+            std::fprintf(stderr, "usage error: --merge-reports "
+                                 "conflicts with --shards/--shard-id\n");
+            std::exit(2);
+        }
+        std::vector<std::string> paths;
+        const std::string list = mergeList;
+        for (size_t at = 0; at <= list.size();) {
+            const size_t comma = std::min(list.find(',', at),
+                                          list.size());
+            if (comma > at)
+                paths.push_back(list.substr(at, comma - at));
+            at = comma + 1;
+        }
+        std::string lerr;
+        if (paths.empty() ||
+            !sh.loadPartials(paths, bench, scaleHex, &lerr)) {
+            std::fprintf(stderr, "%s\n",
+                         paths.empty()
+                             ? "usage error: --merge-reports needs a "
+                               "comma-separated list of partials"
+                             : lerr.c_str());
+            std::exit(paths.empty() ? 2 : 1);
+        }
+        return;
+    }
+
+    if (spec.shardId >= 0) {
+        if (!jsonOutPath(argc, argv)) {
+            std::fprintf(stderr,
+                         "usage error: a shard worker (--shard-id) "
+                         "needs --json <path> for its partial "
+                         "report\n");
+            std::exit(2);
+        }
+        sh.configureWorker(spec.shards, spec.shardId, bench,
+                           scaleHex);
+        return;
+    }
+    if (spec.shards <= 1)
+        return;
+    if (tracing::Tracer::global().enabled()) {
+        std::printf(
+            "tracing/audit sink open: disabling sweep sharding "
+            "(shards 1)\n");
+        return;
+    }
+
+    std::vector<std::string> parts;
+    std::string tmp;
+    const std::string serr = spawnShardWorkers(
+        argc, argv, spec.shards, TraceArena::global().enabled(),
+        &parts, &tmp);
+    if (!serr.empty()) {
+        std::fprintf(stderr, "%s\n", serr.c_str());
+        std::exit(1);
+    }
+    std::string lerr;
+    const bool ok = sh.loadPartials(parts, bench, scaleHex, &lerr);
+    std::error_code ec;
+    std::filesystem::remove_all(tmp, ec);
+    if (!ok) {
+        std::fprintf(stderr, "%s\n", lerr.c_str());
+        std::exit(1);
+    }
 }
 
 /**
@@ -428,6 +675,10 @@ runMetaJson(int argc, char **argv)
     ar["bytes"] = arena.bytes;
     ar["budgetBytes"] = arena.budgetBytes;
     ar["genMs"] = arena.genMs;
+    ar["dir"] = arena.dir;
+    ar["fileHits"] = arena.fileHits;
+    ar["fileSpills"] = arena.fileSpills;
+    ar["fileRejects"] = arena.fileRejects;
     meta["traceArena"] = std::move(ar);
 
     const LockstepMeta &ls = lockstepMeta();
@@ -439,7 +690,19 @@ runMetaJson(int argc, char **argv)
         cells.push(c);
     lock["cellsPerBatch"] = std::move(cells);
     lock["recordsShared"] = ls.recordsShared;
+    lock["deliveryMs"] = static_cast<double>(ls.deliveryNs) / 1e6;
+    lock["computeMs"] = static_cast<double>(ls.computeNs) / 1e6;
     meta["lockstep"] = std::move(lock);
+
+    const ShardSession &sh = ShardSession::global();
+    json::Value shd = json::Value::object();
+    shd["shards"] =
+        sh.mode() == ShardSession::Mode::Off ? 1 : sh.shards();
+    shd["shardId"] = sh.shardId();
+    shd["mode"] = sh.mode() == ShardSession::Mode::Off ? "off"
+        : sh.mode() == ShardSession::Mode::Worker     ? "worker"
+                                                      : "merged";
+    meta["shard"] = std::move(shd);
     return meta;
 }
 
@@ -554,6 +817,34 @@ writeJsonReport(const json::Value &root, int argc, char **argv)
         return false;
     }
     std::printf("json report written to %s\n", path);
+    return true;
+}
+
+/**
+ * Worker-mode epilogue: call right after the binary's last sweep. In
+ * worker mode it writes the partial report to the --json path (the
+ * meta block rides along for provenance) and returns true — the
+ * binary returns immediately, skipping aggregation and printing,
+ * whose inputs are the full grid this worker never ran. Off/merge
+ * modes return false and the binary proceeds normally.
+ */
+inline bool
+shardPartialDone(int argc, char **argv)
+{
+    ShardSession &sh = ShardSession::global();
+    if (sh.mode() != ShardSession::Mode::Worker)
+        return false;
+    const char *path = jsonOutPath(argc, argv);
+    std::string err;
+    if (!path ||
+        !sh.writePartial(path, runMetaJson(argc, argv), &err)) {
+        std::fprintf(stderr, "%s\n",
+                     path ? err.c_str()
+                          : "shard worker lost its --json path");
+        std::exit(1);
+    }
+    std::printf("shard partial %d/%d written to %s\n", sh.shardId(),
+                sh.shards(), path);
     return true;
 }
 
@@ -760,6 +1051,47 @@ runPfTask(const PfTask &t)
     return runPrefetch(t.app, *pf, t.instr, t.hier, t.dram, t.seed);
 }
 
+/** Lossless shard transport of a PfRun (doubles as bit patterns,
+ *  counters as native JSON integers). */
+inline json::Value
+pfRunToJson(const PfRun &r)
+{
+    json::Value v = json::Value::object();
+    v["ipc"] = encodeDouble(r.ipc);
+    v["issued"] = r.pf.issued;
+    v["timely"] = r.pf.timely;
+    v["late"] = r.pf.late;
+    v["wrong"] = r.pf.wrong;
+    v["dropped"] = r.pf.dropped;
+    v["llcDemandMisses"] = r.llcDemandMisses;
+    v["l2DemandAccesses"] = r.l2DemandAccesses;
+    v["instructions"] = r.instructions;
+    return v;
+}
+
+inline PfRun
+pfRunFromJson(const json::Value &v)
+{
+    PfRun r;
+    r.ipc = decodeDouble(v.find("ipc")->asString());
+    r.pf.issued = v.find("issued")->asUint();
+    r.pf.timely = v.find("timely")->asUint();
+    r.pf.late = v.find("late")->asUint();
+    r.pf.wrong = v.find("wrong")->asUint();
+    r.pf.dropped = v.find("dropped")->asUint();
+    r.llcDemandMisses = v.find("llcDemandMisses")->asUint();
+    r.l2DemandAccesses = v.find("l2DemandAccesses")->asUint();
+    r.instructions = v.find("instructions")->asUint();
+    return r;
+}
+
+inline ShardCodec<PfRun>
+pfRunCodec()
+{
+    return {[](const PfRun &r) { return pfRunToJson(r); },
+            [](const json::Value &v) { return pfRunFromJson(v); }};
+}
+
 /**
  * Run a prefetching sweep on @p jobs lanes, lockstep-batching up to
  * @p batch compatible cells (same workload fingerprint + instruction
@@ -773,10 +1105,16 @@ runPfTask(const PfTask &t)
  * singleton groups do the same. The executed plan lands in
  * lockstepMeta() (the meta.lockstep block), computed statically from
  * the grid so it is deterministic at any jobs count.
+ *
+ * Shard-aware, like shardedSweep: a worker runs (and batch-plans
+ * within) only the cells it owns — legal because lockstep is
+ * byte-identical to independent execution, so regrouping a subset of
+ * the cells cannot change any cell's result — and a merge run decodes
+ * every cell from the loaded partials.
  */
 inline std::vector<PfRun>
-sweepPrefetchRuns(int jobs, int batch,
-                  const std::vector<PfTask> &tasks)
+sweepPrefetchRunsLocal(int jobs, int batch,
+                       const std::vector<PfTask> &tasks)
 {
     if (batch <= 1 || !TraceArena::global().enabled()) {
         return sweepMap<PfRun>(
@@ -803,6 +1141,7 @@ sweepPrefetchRuns(int jobs, int batch,
     }
 
     std::vector<PfRun> out(tasks.size());
+    std::vector<LockstepTimes> unitTimes(plan.size());
     sweepMap<int>(jobs, plan.size(), [&](size_t u) {
         const std::vector<size_t> &unit = plan[u];
         if (unit.size() < 2 || tasks[unit[0]].instr == 0) {
@@ -828,9 +1167,50 @@ sweepPrefetchRuns(int jobs, int batch,
         lb.run();
         for (size_t c = 0; c < unit.size(); ++c)
             out[unit[c]] = collectPfRun(lb.core(c));
+        unitTimes[u] = lb.times();
         return 0;
     });
+    for (const LockstepTimes &t : unitTimes) {
+        meta.deliveryNs += t.deliveryNs;
+        meta.computeNs += t.computeNs;
+    }
     return out;
+}
+
+inline std::vector<PfRun>
+sweepPrefetchRuns(int jobs, int batch,
+                  const std::vector<PfTask> &tasks)
+{
+    ShardSession &sh = ShardSession::global();
+    if (sh.mode() == ShardSession::Mode::Merge) {
+        const std::vector<json::Value> vals =
+            sh.takeSweep(tasks.size());
+        std::vector<PfRun> out;
+        out.reserve(vals.size());
+        for (const json::Value &v : vals)
+            out.push_back(pfRunFromJson(v));
+        return out;
+    }
+    if (sh.mode() == ShardSession::Mode::Worker) {
+        const std::vector<size_t> owned =
+            sh.ownedIndices(tasks.size());
+        std::vector<PfTask> sub;
+        sub.reserve(owned.size());
+        for (size_t i : owned)
+            sub.push_back(tasks[i]);
+        const std::vector<PfRun> runs =
+            sweepPrefetchRunsLocal(jobs, batch, sub);
+        std::vector<json::Value> vals;
+        vals.reserve(runs.size());
+        for (const PfRun &r : runs)
+            vals.push_back(pfRunToJson(r));
+        sh.recordSweep(tasks.size(), owned, std::move(vals));
+        std::vector<PfRun> out(tasks.size());
+        for (size_t k = 0; k < owned.size(); ++k)
+            out[owned[k]] = runs[k];
+        return out;
+    }
+    return sweepPrefetchRunsLocal(jobs, batch, tasks);
 }
 
 /** Print a horizontal rule sized to @p width. */

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Records the repo's perf trajectory for the sweep engine: end-to-end
 # wall-clock of the fig8 / fig13 / table8 sweeps at 1% scale — trace
-# arena on vs off vs lockstep batching (--batch 8) — at 1 and 4 jobs,
+# arena on vs off vs lockstep batching (--batch 8) vs the persistent
+# arena directory (cold spill and warm mmap start) — at 1 and 4 jobs,
 # plus the lockstep record-delivery microbenchmarks (BM_ReplayNext,
 # BM_LockstepStep). Emits BENCH_sweeps.json.
 #
-# Methodology: for each (sweep, jobs) cell the on/off/batch legs are
-# interleaved (on, off, batch, on, off, batch, ...) so slow drift in
+# Methodology: for each (sweep, jobs) cell the legs are interleaved
+# (on, off, batch, dircold, dirwarm, on, off, ...) so slow drift in
 # host load hits every leg equally, and the summary reports both the
 # min and the median of the per-leg times. On a shared box prefer the
-# min — it is the closest observable to the noise-free cost.
+# min — it is the closest observable to the noise-free cost. The
+# dircold leg starts from an emptied spill directory every rep; the
+# dirwarm leg reuses a directory primed once before timing.
 #
 # Usage:
 #   scripts/bench_baseline.sh <build-bench-dir> [out.json]
@@ -32,13 +35,22 @@ now_ms() {
     echo $((($(date +%s%N)) / 1000000))
 }
 
-# run_leg <exe> <jobs> <mode:on|off|batch8> -> wall ms on stdout
+# run_leg <exe> <jobs> <mode:on|off|batch8|dircold|dirwarm>
+#   -> wall ms on stdout
 run_leg() {
     local exe=$1 jobs=$2 mode=$3 t0 t1
+    if [ "$mode" = dircold ]; then
+        rm -rf "$colddir"
+        mkdir -p "$colddir"
+    fi
     t0=$(now_ms)
     case "$mode" in
     off) MAB_BENCH_JOBS=$jobs MAB_TRACE_ARENA=0 "$exe" >/dev/null ;;
     batch8) MAB_BENCH_JOBS=$jobs MAB_BENCH_BATCH=8 "$exe" >/dev/null ;;
+    dircold) MAB_BENCH_JOBS=$jobs MAB_TRACE_ARENA_DIR=$colddir \
+        "$exe" >/dev/null ;;
+    dirwarm) MAB_BENCH_JOBS=$jobs MAB_TRACE_ARENA_DIR=$warmdir \
+        "$exe" >/dev/null ;;
     *) MAB_BENCH_JOBS=$jobs "$exe" >/dev/null ;;
     esac
     t1=$(now_ms)
@@ -47,7 +59,8 @@ run_leg() {
 
 results=$(mktemp)
 micro=$(mktemp)
-trap 'rm -f "$results" "$micro"' EXIT
+arenas=$(mktemp -d)
+trap 'rm -rf "$results" "$micro" "$arenas"' EXIT
 
 for sweep in "${sweeps[@]}"; do
     exe="$bench_dir/$sweep"
@@ -55,17 +68,25 @@ for sweep in "${sweeps[@]}"; do
         echo "missing binary: $exe" >&2
         exit 1
     }
+    colddir="$arenas/$sweep.cold"
+    warmdir="$arenas/$sweep.warm"
+    # Prime the warm directory once, outside the timed legs.
+    mkdir -p "$warmdir"
+    MAB_BENCH_JOBS=1 MAB_TRACE_ARENA_DIR=$warmdir "$exe" >/dev/null
     for jobs in "${jobs_list[@]}"; do
-        on_ms=() off_ms=() batch_ms=()
+        on_ms=() off_ms=() batch_ms=() cold_ms=() warm_ms=()
         for ((r = 0; r < reps; ++r)); do
             on_ms+=("$(run_leg "$exe" "$jobs" on)")
             off_ms+=("$(run_leg "$exe" "$jobs" off)")
             batch_ms+=("$(run_leg "$exe" "$jobs" batch8)")
+            cold_ms+=("$(run_leg "$exe" "$jobs" dircold)")
+            warm_ms+=("$(run_leg "$exe" "$jobs" dirwarm)")
         done
         echo "$sweep jobs=$jobs on: ${on_ms[*]} | off: ${off_ms[*]}" \
-            "| batch8: ${batch_ms[*]}" >&2
+            "| batch8: ${batch_ms[*]} | dircold: ${cold_ms[*]}" \
+            "| dirwarm: ${warm_ms[*]}" >&2
         echo "$sweep $jobs ${on_ms[*]} | ${off_ms[*]} | ${batch_ms[*]}" \
-            >>"$results"
+            "| ${cold_ms[*]} | ${warm_ms[*]}" >>"$results"
     done
 done
 
@@ -77,7 +98,17 @@ done
     --benchmark_min_time=0.2 --benchmark_format=json >"$micro" \
     2>/dev/null
 
-python3 - "$results" "$out" "$reps" "$MAB_BENCH_SCALE" "$micro" <<'EOF'
+# Host provenance: enough to judge whether two BENCH_sweeps.json are
+# comparable (arch + kernel + compiler + optimization level).
+cache="$bench_dir/../CMakeCache.txt"
+cxx=$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' "$cache" 2>/dev/null |
+    head -1)
+cxx_version=$({ "$cxx" --version 2>/dev/null || true; } | head -1)
+build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$cache" \
+    2>/dev/null | head -1)
+
+python3 - "$results" "$out" "$reps" "$MAB_BENCH_SCALE" "$micro" \
+    "$cxx_version" "$build_type" <<'EOF'
 import json
 import statistics
 import subprocess
@@ -86,15 +117,19 @@ import sys
 results_path, out_path, reps = sys.argv[1], sys.argv[2], int(sys.argv[3])
 scale = float(sys.argv[4])
 micro_path = sys.argv[5]
+cxx_version, build_type = sys.argv[6], sys.argv[7]
 
 sweeps = []
 with open(results_path) as f:
     for line in f:
         name, jobs, rest = line.split(maxsplit=2)
-        on_part, off_part, batch_part = rest.split("|")
+        on_part, off_part, batch_part, cold_part, warm_part = \
+            rest.split("|")
         on = [int(x) for x in on_part.split()]
         off = [int(x) for x in off_part.split()]
         batch = [int(x) for x in batch_part.split()]
+        cold = [int(x) for x in cold_part.split()]
+        warm = [int(x) for x in warm_part.split()]
         saving = lambda a, b: round(100.0 * (b - a) / b, 1) if b else 0.0
         sweeps.append({
             "sweep": name,
@@ -102,16 +137,23 @@ with open(results_path) as f:
             "arenaOnMs": on,
             "arenaOffMs": off,
             "batch8Ms": batch,
+            "dirColdMs": cold,
+            "dirWarmMs": warm,
             "minOnMs": min(on),
             "minOffMs": min(off),
             "minBatch8Ms": min(batch),
+            "minDirColdMs": min(cold),
+            "minDirWarmMs": min(warm),
             "medianOnMs": statistics.median(on),
             "medianOffMs": statistics.median(off),
             "medianBatch8Ms": statistics.median(batch),
+            "medianDirColdMs": statistics.median(cold),
+            "medianDirWarmMs": statistics.median(warm),
             "savingPctMin": saving(min(on), min(off)),
             "savingPctMedian": saving(statistics.median(on),
                                       statistics.median(off)),
             "batchSavingPctMin": saving(min(batch), min(on)),
+            "warmSavingPctMin": saving(min(warm), min(cold)),
         })
 
 with open(micro_path) as f:
@@ -127,14 +169,22 @@ for b in micro.get("benchmarks", []):
         cells = name.split("/")[1]
         lockstep_ns[cells] = round(b["ns/record/cell"] * 1e9, 3)
 
-date = subprocess.run(["date", "-u", "+%Y-%m-%dT%H:%M:%SZ"],
-                      capture_output=True, text=True).stdout.strip()
-nproc = subprocess.run(["nproc"], capture_output=True,
-                       text=True).stdout.strip()
+def run(cmd):
+    return subprocess.run(cmd, capture_output=True,
+                          text=True).stdout.strip()
+
+date = run(["date", "-u", "+%Y-%m-%dT%H:%M:%SZ"])
+nproc = run(["nproc"])
 doc = {
-    "schema": "mab-bench-sweeps-v2",
+    "schema": "mab-bench-sweeps-v3",
     "generatedUtc": date,
-    "host": {"nproc": int(nproc or 1)},
+    "host": {
+        "nproc": int(nproc or 1),
+        "arch": run(["uname", "-m"]),
+        "kernel": run(["uname", "-sr"]),
+        "compiler": cxx_version,
+        "buildType": build_type,
+    },
     "scale": scale,
     "repsPerLeg": reps,
     "methodology": ("interleaved on/off/batch8 legs per cell; min is "
@@ -156,7 +206,10 @@ print(f"  BM_ReplayNext {replay_ns} ns/record; BM_LockstepStep " +
       " ns/record/cell")
 for s in sweeps:
     print(f"  {s['sweep']:<28} jobs={s['jobs']}  "
-          f"min {s['minOnMs']}/{s['minOffMs']}/{s['minBatch8Ms']} ms  "
+          f"min {s['minOnMs']}/{s['minOffMs']}/{s['minBatch8Ms']}/"
+          f"{s['minDirColdMs']}/{s['minDirWarmMs']} ms "
+          f"(on/off/batch8/dircold/dirwarm)  "
           f"arena saving {s['savingPctMin']}%  "
-          f"batch8 saving {s['batchSavingPctMin']}%")
+          f"batch8 saving {s['batchSavingPctMin']}%  "
+          f"warm saving {s['warmSavingPctMin']}%")
 EOF

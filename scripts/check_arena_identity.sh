@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# Arena + lockstep identity gate: neither the trace arena nor batch-
-# lockstep execution may change anything observable.
+# Arena + lockstep + shard identity gate: neither the trace arena,
+# batch-lockstep execution, nor multi-process sharding may change
+# anything observable.
 #
 # For each sweep binary this runs one base configuration (arena on,
-# batching off) and diffs it against:
+# batching off, unsharded) and diffs it against:
 #
-#   - arena off        (MAB_TRACE_ARENA=0), and
-#   - lockstep batches (--batch 2 and --batch 8, each at jobs 1 and 4)
+#   - arena off        (MAB_TRACE_ARENA=0),
+#   - lockstep batches (--batch 2 and --batch 8, each at jobs 1 and 4),
+#   - sharded runs     (--shards 2 and --shards 4 driver mode, each at
+#                       jobs 1 and 4: the driver spawns that many
+#                       worker processes over a shared spill directory
+#                       and merges their partial reports)
 #
 # asserting for every leg that:
 #
@@ -135,9 +140,18 @@ for b in "${benches[@]}"; do
                 "batch $batch jobs $bj vs unbatched (jobs=$jobs)"
         done
     done
+    for shards in 2 4; do
+        for sj in 1 4; do
+            run_leg "s$shards.j$sj" \
+                MAB_BENCH_SHARDS=$shards MAB_BENCH_JOBS=$sj
+            compare_leg "s$shards.j$sj" \
+                "shards $shards jobs $sj vs unsharded (jobs=$jobs)"
+        done
+    done
 
     if [ "$ok" -eq 1 ]; then
-        echo "IDENTICAL  $b (jobs=$jobs, arena off, batch 2/8 x jobs 1/4)"
+        echo "IDENTICAL  $b (jobs=$jobs, arena off," \
+            "batch 2/8 x jobs 1/4, shards 2/4 x jobs 1/4)"
     else
         fail=1
     fi
@@ -147,4 +161,4 @@ if [ "$fail" -ne 0 ]; then
     echo "arena identity check FAILED" >&2
     exit 1
 fi
-echo "arena+lockstep identity check passed: ${#benches[@]} sweep(s), jobs=$jobs"
+echo "arena+lockstep+shard identity check passed: ${#benches[@]} sweep(s), jobs=$jobs"

@@ -68,10 +68,12 @@ LockstepBatch::advance(uint64_t records)
 {
     const uint64_t n = std::min(records, records_ - pos_);
     CoreModel *const *cells = plane_.data();
-    pos_ += lockstepPump(src_, n, plane_.size(),
-                         [cells](size_t c, const PackedRecord &rec) {
-                             cells[c]->stepPacked(rec);
-                         });
+    pos_ += lockstepPump(
+        src_, n, plane_.size(),
+        [cells](size_t c, const PackedRecord &rec) {
+            cells[c]->stepPacked(rec);
+        },
+        &times_);
 }
 
 } // namespace mab

@@ -2,6 +2,7 @@
 #define MAB_SIM_LOCKSTEP_H
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -46,6 +47,20 @@ namespace mab {
  */
 
 /**
+ * Wall-clock split of a lockstep run: time fetching records from the
+ * shared stream (delivery — what batching amortizes) vs time inside
+ * the cells' simulation (compute — what it cannot). Reported as
+ * meta.lockstep.{deliveryMs,computeMs} so a sweep's report explains
+ * where batching helps: once delivery is a few percent of compute,
+ * a larger batch cannot move wall-clock (Amdahl on the fetch loop).
+ */
+struct LockstepTimes
+{
+    uint64_t deliveryNs = 0;
+    uint64_t computeNs = 0;
+};
+
+/**
  * Fetch @p records packed records from @p src once and deliver each to
  * @p cells sinks: sink(cell, record) is called for every (cell,
  * record) pair, cell-major within a round so each cell executes a
@@ -55,11 +70,15 @@ namespace mab {
  * BM_LockstepStep microbench run — the benchmark measures the real
  * machinery, not a copy of it. Returns the records consumed
  * (always @p records; the source throws on exhaustion).
+ *
+ * When @p times is set, the fetch and sink halves of every round are
+ * timed into it (two steady_clock reads per 1024-record round — noise
+ * next to the round's microseconds of work).
  */
 template <typename Sink>
 uint64_t
 lockstepPump(ReplaySource &src, uint64_t records, size_t cells,
-             Sink &&sink)
+             Sink &&sink, LockstepTimes *times = nullptr)
 {
     /** Round size: 1024 records = 16 KB, L1-resident, so every cell
      *  after the first reads the round from cache. */
@@ -69,11 +88,28 @@ lockstepPump(ReplaySource &src, uint64_t records, size_t cells,
     while (done < records) {
         const uint64_t n =
             std::min<uint64_t>(kRoundRecords, records - done);
+        const auto t0 = times
+            ? std::chrono::steady_clock::now()
+            : std::chrono::steady_clock::time_point{};
         for (uint64_t j = 0; j < n; ++j)
             round[j] = src.nextPacked();
+        const auto t1 = times
+            ? std::chrono::steady_clock::now()
+            : std::chrono::steady_clock::time_point{};
         for (size_t c = 0; c < cells; ++c) {
             for (uint64_t j = 0; j < n; ++j)
                 sink(c, round[j]);
+        }
+        if (times) {
+            const auto t2 = std::chrono::steady_clock::now();
+            times->deliveryNs += static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    t1 - t0)
+                    .count());
+            times->computeNs += static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    t2 - t1)
+                    .count());
         }
         done += n;
     }
@@ -149,11 +185,15 @@ class LockstepBatch
     CoreModel &core(size_t cell) { return *plane_[cell]; }
     const CoreModel &core(size_t cell) const { return *plane_[cell]; }
 
+    /** Delivery/compute wall-clock split accumulated so far. */
+    const LockstepTimes &times() const { return times_; }
+
   private:
     std::shared_ptr<MaterializedTrace> trace_;
     ReplaySource src_;
     uint64_t records_;
     uint64_t pos_ = 0;
+    LockstepTimes times_;
 
     /** Cell ownership (CoreModel is not movable: it holds references
      *  into its own hierarchy). */

@@ -1,0 +1,478 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MAB_SHARD_SPAWN 1
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace mab {
+
+namespace {
+
+constexpr uint64_t kPartialSchema = 1;
+
+std::string
+readFile(const std::string &path, std::string *err)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        *err = "cannot open shard partial: " + path;
+        return "";
+    }
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return text;
+}
+
+const json::Value *
+member(const json::Value &v, const char *key, json::Value::Type type)
+{
+    const json::Value *m = v.find(key);
+    if (!m || m->type() != type)
+        return nullptr;
+    return m;
+}
+
+} // namespace
+
+std::string
+encodeDouble(double v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "x%016llx",
+                  static_cast<unsigned long long>(
+                      std::bit_cast<uint64_t>(v)));
+    return buf;
+}
+
+double
+decodeDouble(const std::string &s)
+{
+    if (s.size() != 17 || s[0] != 'x')
+        throw std::runtime_error("bad encoded double: '" + s + "'");
+    char *end = nullptr;
+    const unsigned long long bits =
+        std::strtoull(s.c_str() + 1, &end, 16);
+    if (end != s.c_str() + s.size())
+        throw std::runtime_error("bad encoded double: '" + s + "'");
+    return std::bit_cast<double>(static_cast<uint64_t>(bits));
+}
+
+ShardSession &
+ShardSession::global()
+{
+    static ShardSession session;
+    return session;
+}
+
+void
+ShardSession::configureWorker(int shards, int shardId,
+                              std::string bench, std::string scaleHex)
+{
+    mode_ = Mode::Worker;
+    shards_ = shards;
+    shardId_ = shardId;
+    bench_ = std::move(bench);
+    scaleHex_ = std::move(scaleHex);
+    sweeps_.clear();
+    cursor_ = 0;
+}
+
+std::vector<size_t>
+ShardSession::ownedIndices(size_t cells) const
+{
+    std::vector<size_t> owned;
+    for (size_t i = 0; i < cells; ++i) {
+        if (owns(i))
+            owned.push_back(i);
+    }
+    return owned;
+}
+
+void
+ShardSession::recordSweep(size_t cells, std::vector<size_t> indices,
+                          std::vector<json::Value> values)
+{
+    Sweep s;
+    s.cells = cells;
+    s.indices = std::move(indices);
+    s.values = std::move(values);
+    sweeps_.push_back(std::move(s));
+}
+
+bool
+ShardSession::writePartial(const std::string &path, json::Value meta,
+                           std::string *err) const
+{
+    json::Value part = json::Value::object();
+    part["schema"] = kPartialSchema;
+    part["bench"] = bench_;
+    part["scale"] = scaleHex_;
+    part["shards"] = shards_;
+    part["shardId"] = shardId_;
+    json::Value sweeps = json::Value::array();
+    for (const Sweep &s : sweeps_) {
+        json::Value sw = json::Value::object();
+        sw["cells"] = static_cast<uint64_t>(s.cells);
+        json::Value idx = json::Value::array();
+        for (size_t i : s.indices)
+            idx.push(static_cast<uint64_t>(i));
+        sw["indices"] = std::move(idx);
+        json::Value vals = json::Value::array();
+        for (const json::Value &v : s.values)
+            vals.push(v);
+        sw["values"] = std::move(vals);
+        sweeps.push(std::move(sw));
+    }
+    part["sweeps"] = std::move(sweeps);
+
+    json::Value root = json::Value::object();
+    root["shardPartial"] = std::move(part);
+    root["meta"] = std::move(meta);
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        *err = "cannot open shard partial for write: " + path;
+        return false;
+    }
+    const std::string text = root.dump(2);
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    if (std::fclose(f) != 0 || !ok) {
+        *err = "short write on shard partial: " + path;
+        return false;
+    }
+    return true;
+}
+
+bool
+ShardSession::loadPartials(const std::vector<std::string> &paths,
+                           const std::string &bench,
+                           const std::string &scaleHex,
+                           std::string *err)
+{
+    if (paths.empty()) {
+        *err = "no shard partials to merge";
+        return false;
+    }
+
+    // Parse + validate identity of every partial.
+    struct Loaded
+    {
+        int shardId = 0;
+        const json::Value *sweeps = nullptr;
+        json::Value root;
+    };
+    std::vector<Loaded> parts(paths.size());
+    int shards = 0;
+    std::vector<bool> seen(paths.size(), false);
+    for (size_t p = 0; p < paths.size(); ++p) {
+        const std::string text = readFile(paths[p], err);
+        if (text.empty() && !err->empty())
+            return false;
+        try {
+            parts[p].root = json::Value::parse(text);
+        } catch (const std::exception &e) {
+            *err = paths[p] + ": " + e.what();
+            return false;
+        }
+        const json::Value *sp =
+            member(parts[p].root, "shardPartial",
+                   json::Value::Type::Object);
+        if (!sp) {
+            *err = paths[p] + ": not a shard partial report";
+            return false;
+        }
+        const json::Value *schema =
+            member(*sp, "schema", json::Value::Type::Uint);
+        if (!schema || schema->asUint() != kPartialSchema) {
+            *err = paths[p] + ": unsupported shard partial schema";
+            return false;
+        }
+        const json::Value *pbench =
+            member(*sp, "bench", json::Value::Type::String);
+        if (!pbench || pbench->asString() != bench) {
+            *err = paths[p] + ": partial is from bench '" +
+                (pbench ? pbench->asString() : "?") +
+                "', merging into '" + bench + "'";
+            return false;
+        }
+        const json::Value *pscale =
+            member(*sp, "scale", json::Value::Type::String);
+        if (!pscale || pscale->asString() != scaleHex) {
+            *err = paths[p] + ": partial ran at a different "
+                "MAB_BENCH_SCALE than this merge";
+            return false;
+        }
+        const json::Value *pshards = sp->find("shards");
+        const json::Value *pid = sp->find("shardId");
+        if (!pshards || !pshards->isNumber() || !pid ||
+            !pid->isNumber()) {
+            *err = paths[p] + ": missing shards/shardId";
+            return false;
+        }
+        const int n = static_cast<int>(pshards->asInt());
+        const int id = static_cast<int>(pid->asInt());
+        if (n != static_cast<int>(paths.size())) {
+            *err = paths[p] + ": partial is 1 of " +
+                std::to_string(n) + " shards, but " +
+                std::to_string(paths.size()) + " were given";
+            return false;
+        }
+        if (id < 0 || id >= n || seen[static_cast<size_t>(id)]) {
+            *err = paths[p] + ": duplicate or out-of-range shard id " +
+                std::to_string(id);
+            return false;
+        }
+        seen[static_cast<size_t>(id)] = true;
+        shards = n;
+        parts[p].shardId = id;
+        parts[p].sweeps =
+            member(*sp, "sweeps", json::Value::Type::Array);
+        if (!parts[p].sweeps) {
+            *err = paths[p] + ": missing sweeps";
+            return false;
+        }
+        if (parts[p].sweeps->size() != parts[0].sweeps->size()) {
+            *err = paths[p] + ": sweep count disagrees with " +
+                paths[0];
+            return false;
+        }
+    }
+
+    // Reassemble each sweep: every cell exactly once, from its owner.
+    std::vector<Sweep> merged(parts[0].sweeps->size());
+    for (size_t s = 0; s < merged.size(); ++s) {
+        size_t filled = 0;
+        for (const Loaded &part : parts) {
+            const json::Value &sw = part.sweeps->items()[s];
+            const json::Value *cells =
+                member(sw, "cells", json::Value::Type::Uint);
+            const json::Value *idx =
+                member(sw, "indices", json::Value::Type::Array);
+            const json::Value *vals =
+                member(sw, "values", json::Value::Type::Array);
+            if (!cells || !idx || !vals ||
+                idx->size() != vals->size()) {
+                *err = "malformed sweep " + std::to_string(s) +
+                    " in shard " + std::to_string(part.shardId);
+                return false;
+            }
+            Sweep &m = merged[s];
+            if (m.cells == 0) {
+                m.cells = cells->asUint();
+                m.values.resize(m.cells);
+            } else if (m.cells != cells->asUint()) {
+                *err = "sweep " + std::to_string(s) +
+                    ": grid size disagrees across shards";
+                return false;
+            }
+            for (size_t k = 0; k < idx->size(); ++k) {
+                const uint64_t i = idx->items()[k].asUint();
+                if (i >= m.cells ||
+                    static_cast<int>(
+                        i % static_cast<uint64_t>(shards)) !=
+                        part.shardId) {
+                    *err = "sweep " + std::to_string(s) +
+                        ": shard " + std::to_string(part.shardId) +
+                        " reports cell " + std::to_string(i) +
+                        " it does not own";
+                    return false;
+                }
+                m.values[i] = vals->items()[k];
+                ++filled;
+            }
+        }
+        if (filled != merged[s].cells) {
+            *err = "sweep " + std::to_string(s) + ": " +
+                std::to_string(filled) + " of " +
+                std::to_string(merged[s].cells) +
+                " cells covered by the partials";
+            return false;
+        }
+    }
+
+    mode_ = Mode::Merge;
+    shards_ = shards;
+    shardId_ = -1;
+    bench_ = bench;
+    scaleHex_ = scaleHex;
+    sweeps_ = std::move(merged);
+    cursor_ = 0;
+    return true;
+}
+
+std::vector<json::Value>
+ShardSession::takeSweep(size_t cells)
+{
+    if (mode_ != Mode::Merge)
+        throw std::logic_error("takeSweep outside merge mode");
+    if (cursor_ >= sweeps_.size())
+        throw std::runtime_error(
+            "shard merge: the binary ran more sweeps than the "
+            "partials recorded");
+    Sweep &s = sweeps_[cursor_++];
+    if (s.cells != cells)
+        throw std::runtime_error(
+            "shard merge: sweep " + std::to_string(cursor_ - 1) +
+            " has " + std::to_string(s.cells) +
+            " cells in the partials but " + std::to_string(cells) +
+            " in this run");
+    return std::move(s.values);
+}
+
+void
+ShardSession::reset()
+{
+    mode_ = Mode::Off;
+    shards_ = 1;
+    shardId_ = -1;
+    bench_.clear();
+    scaleHex_.clear();
+    sweeps_.clear();
+    cursor_ = 0;
+}
+
+std::string
+spawnShardWorkers(int argc, char **argv, int shards, bool shareArena,
+                  std::vector<std::string> *partialPaths,
+                  std::string *tmpDir)
+{
+#ifndef MAB_SHARD_SPAWN
+    (void)argc;
+    (void)argv;
+    (void)shards;
+    (void)shareArena;
+    (void)partialPaths;
+    (void)tmpDir;
+    return "sharded driver mode needs a POSIX host; run the workers "
+           "yourself with --shards/--shard-id and merge with "
+           "--merge-reports";
+#else
+    char tmpl[] = "/tmp/mab-shards-XXXXXX";
+    const char *dir = ::mkdtemp(tmpl);
+    if (!dir)
+        return "cannot create shard scratch directory under /tmp";
+    *tmpDir = dir;
+
+    // The workers' argv: everything the driver got minus the flags
+    // the driver owns (each consumes one value token), plus the
+    // worker's own shard coordinates and partial destination.
+    std::vector<std::string> base;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--shards") == 0 ||
+            std::strcmp(a, "--shard-id") == 0 ||
+            std::strcmp(a, "--json") == 0 ||
+            std::strcmp(a, "--merge-reports") == 0) {
+            ++i;
+            continue;
+        }
+        base.push_back(a);
+    }
+
+    const bool exportArena =
+        shareArena && std::getenv("MAB_TRACE_ARENA_DIR") == nullptr;
+    if (exportArena) {
+        const std::string arena = std::string(dir) + "/arena";
+        ::setenv("MAB_TRACE_ARENA_DIR", arena.c_str(), 1);
+    }
+
+    std::vector<pid_t> pids;
+    std::vector<std::string> logs;
+    partialPaths->clear();
+    for (int k = 0; k < shards; ++k) {
+        const std::string part =
+            std::string(dir) + "/part-" + std::to_string(k) + ".json";
+        const std::string log =
+            std::string(dir) + "/log-" + std::to_string(k) + ".txt";
+        partialPaths->push_back(part);
+        logs.push_back(log);
+
+        std::vector<std::string> args = base;
+        args.push_back("--shards");
+        args.push_back(std::to_string(shards));
+        args.push_back("--shard-id");
+        args.push_back(std::to_string(k));
+        args.push_back("--json");
+        args.push_back(part);
+        std::vector<char *> cargs;
+        cargs.push_back(argv[0]); // keep the bench's own name
+        for (std::string &a : args)
+            cargs.push_back(a.data());
+        cargs.push_back(nullptr);
+
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            for (pid_t p : pids)
+                ::waitpid(p, nullptr, 0);
+            if (exportArena)
+                ::unsetenv("MAB_TRACE_ARENA_DIR");
+            std::error_code ec;
+            std::filesystem::remove_all(dir, ec);
+            return "fork failed spawning shard workers";
+        }
+        if (pid == 0) {
+            // Worker: all output to its log; stdout must stay clean
+            // for the merge run.
+            const int fd = ::open(log.c_str(),
+                                  O_WRONLY | O_CREAT | O_TRUNC, 0644);
+            if (fd >= 0) {
+                ::dup2(fd, 1);
+                ::dup2(fd, 2);
+                ::close(fd);
+            }
+            ::execv("/proc/self/exe", cargs.data());
+            ::execv(argv[0], cargs.data()); // non-procfs fallback
+            _exit(127);
+        }
+        pids.push_back(pid);
+    }
+    if (exportArena)
+        ::unsetenv("MAB_TRACE_ARENA_DIR");
+
+    std::string failure;
+    for (int k = 0; k < shards; ++k) {
+        int status = 0;
+        if (::waitpid(pids[static_cast<size_t>(k)], &status, 0) < 0 ||
+            !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            if (failure.empty()) {
+                failure = "shard worker " + std::to_string(k) +
+                    " failed";
+                std::string dummy;
+                const std::string log =
+                    readFile(logs[static_cast<size_t>(k)], &dummy);
+                if (!log.empty()) {
+                    failure += ":\n";
+                    failure += log.size() > 2048
+                        ? log.substr(log.size() - 2048)
+                        : log;
+                }
+            }
+        }
+    }
+    if (!failure.empty()) {
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+        return failure;
+    }
+    return "";
+#endif
+}
+
+} // namespace mab

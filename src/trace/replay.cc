@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "trace/arena_file.h"
+
 namespace mab {
 
 namespace {
@@ -71,6 +73,19 @@ MaterializedTrace::MaterializedTrace(const AppProfile &profile,
     // it lock-free while the recorder fills slots in, so it must
     // never reallocate.
     chunks_.resize(numChunks());
+}
+
+MaterializedTrace::MaterializedTrace(const AppProfile &profile,
+                                     uint64_t count,
+                                     const PackedRecord *payload,
+                                     std::shared_ptr<PayloadOwner> owner)
+    : name_(profile.name), count_(count), gen_(profile),
+      mapped_(payload), owner_(std::move(owner))
+{
+    // Every record is already on disk: publish the full frontier so
+    // no consumer ever claims the recorder role, and skip the chunk
+    // directory entirely — chunkPtr() serves straight from mapped_.
+    avail_.store(count, std::memory_order_release);
 }
 
 bool
@@ -219,6 +234,10 @@ TraceArena::TraceArena() : budgetBytes_(kDefaultBudgetBytes)
         if (end != env && *end == '\0')
             budgetBytes_ = static_cast<uint64_t>(mb) << 20;
     }
+    if (const char *env = std::getenv("MAB_TRACE_ARENA_DIR")) {
+        if (env[0] != '\0')
+            dir_ = env;
+    }
 }
 
 TraceArena &
@@ -256,6 +275,20 @@ TraceArena::setBudgetBytes(uint64_t bytes)
     budgetBytes_ = bytes;
 }
 
+std::string
+TraceArena::dir() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dir_;
+}
+
+void
+TraceArena::setDir(std::string dir)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    dir_ = std::move(dir);
+}
+
 TraceArena::Stats
 TraceArena::stats() const
 {
@@ -266,6 +299,10 @@ TraceArena::stats() const
     s.misses = misses_;
     s.evictions = evictions_;
     s.budgetBytes = budgetBytes_;
+    s.dir = dir_;
+    s.fileHits = fileHits_.load(std::memory_order_relaxed);
+    s.fileSpills = fileSpills_.load(std::memory_order_relaxed);
+    s.fileRejects = fileRejects_.load(std::memory_order_relaxed);
     for (const auto &[key, entry] : map_) {
         if (entry.fut.wait_for(std::chrono::seconds(0)) !=
             std::future_status::ready)
@@ -285,6 +322,9 @@ TraceArena::clear()
     std::lock_guard<std::mutex> lock(mu_);
     map_.clear();
     tick_ = hits_ = misses_ = evictions_ = 0;
+    fileHits_.store(0, std::memory_order_relaxed);
+    fileSpills_.store(0, std::memory_order_relaxed);
+    fileRejects_.store(0, std::memory_order_relaxed);
 }
 
 std::shared_ptr<ArenaItem>
@@ -365,10 +405,30 @@ TraceArena::acquireTrace(const AppProfile &profile, uint64_t count)
     key += profileFingerprint(profile);
     key += '#';
     key += std::to_string(count);
-    // Construction is cheap — records materialize lazily, inside the
-    // first consuming run — so a miss never blocks siblings behind a
-    // standalone generation pass.
-    auto item = acquire(key, [&] {
+    const std::string diskDir = dir();
+    auto item = acquire(key, [&]() -> std::shared_ptr<ArenaItem> {
+        if (!diskDir.empty()) {
+            // Persistent arena: a warm start mmaps the spilled file
+            // (zero generation, one page-cache copy shared by every
+            // worker process); a cold or corrupt-file miss generates
+            // eagerly and spills so the *next* process is warm.
+            arena_file::LoadResult loaded =
+                arena_file::tryLoad(diskDir, key, profile, count);
+            if (loaded.status == arena_file::LoadStatus::Ok) {
+                fileHits_.fetch_add(1, std::memory_order_relaxed);
+                return loaded.trace;
+            }
+            if (loaded.status == arena_file::LoadStatus::Rejected)
+                fileRejects_.fetch_add(1, std::memory_order_relaxed);
+            auto trace = MaterializedTrace::generate(profile, count);
+            if (arena_file::save(diskDir, key, *trace))
+                fileSpills_.fetch_add(1, std::memory_order_relaxed);
+            return trace;
+        }
+        // In-memory arena: construction is cheap — records
+        // materialize lazily, inside the first consuming run — so a
+        // miss never blocks siblings behind a standalone generation
+        // pass.
         return std::make_shared<MaterializedTrace>(profile, count);
     });
     return std::static_pointer_cast<MaterializedTrace>(item);

@@ -127,6 +127,19 @@ class ArenaItem
 };
 
 /**
+ * Owner of an externally-backed record payload: a MaterializedTrace
+ * constructed over one keeps the owner alive for as long as any
+ * consumer holds the trace. The concrete owner (an mmap'd arena file,
+ * see trace/arena_file.h) stays out of this header so the replay hot
+ * path never sees platform includes.
+ */
+class PayloadOwner
+{
+  public:
+    virtual ~PayloadOwner() = default;
+};
+
+/**
  * A materialized instruction trace: exactly the first size() records
  * the generating SyntheticTrace produces from a fresh start, in
  * PackedRecord form.
@@ -158,6 +171,19 @@ class MaterializedTrace final : public ArenaItem
     MaterializedTrace(const AppProfile &profile, uint64_t count);
 
     /**
+     * Fully-materialized trace over an external payload of @p count
+     * contiguous PackedRecords (an mmap'd arena file): every record
+     * is published up front, no recorder ever runs, and @p owner is
+     * kept alive until the trace dies. The payload bytes were
+     * checksum- and fingerprint-verified by the loader
+     * (trace/arena_file.cc), so replay through it is byte-identical
+     * to live generation by the same contract as the in-memory path.
+     */
+    MaterializedTrace(const AppProfile &profile, uint64_t count,
+                      const PackedRecord *payload,
+                      std::shared_ptr<PayloadOwner> owner);
+
+    /**
      * Fully materialized trace (every record generated eagerly):
      * microbench / test convenience for timing or inspecting the
      * whole buffer at once.
@@ -178,8 +204,16 @@ class MaterializedTrace final : public ArenaItem
      */
     const PackedRecord *chunkPtr(uint64_t idx) const
     {
+        // Mapped traces serve chunks straight out of the contiguous
+        // external payload; the branch sits on the once-per-16K-record
+        // refill path, never in the per-record loop.
+        if (mapped_)
+            return mapped_ + (idx << kChunkShift);
         return chunks_[idx].get();
     }
+
+    /** True when the payload is externally backed (arena file). */
+    bool isMapped() const { return mapped_ != nullptr; }
 
     /**
      * Claim the (single) recorder role. On success the caller — and
@@ -255,6 +289,9 @@ class MaterializedTrace final : public ArenaItem
     SyntheticTrace gen_;
     /** Directory sized once at construction; slots never move. */
     std::vector<std::unique_ptr<PackedRecord[]>> chunks_;
+    /** External contiguous payload (mapped mode), else nullptr. */
+    const PackedRecord *mapped_ = nullptr;
+    std::shared_ptr<PayloadOwner> owner_;
     std::atomic<uint64_t> avail_{0}; ///< published record count
     std::atomic<bool> recorderActive_{false};
     std::atomic<std::thread::id> recorderThread_{};
@@ -393,9 +430,22 @@ class ReplaySource final : public TraceSource
  * still holding their shared_ptr and are freed with the last one.
  *
  * Environment knobs (read once, at first use):
- *   MAB_TRACE_ARENA=0       disable (every run generates live); the
- *                           bench flag --no-trace-cache does the same
- *   MAB_TRACE_ARENA_MB=<n>  byte budget in MiB (default 512)
+ *   MAB_TRACE_ARENA=0        disable (every run generates live); the
+ *                            bench flag --no-trace-cache does the same
+ *   MAB_TRACE_ARENA_MB=<n>   byte budget in MiB (default 512)
+ *   MAB_TRACE_ARENA_DIR=<d>  persist instruction traces as versioned
+ *                            on-disk PackedRecord files under <d>
+ *                            (created if absent). A miss first tries
+ *                            to mmap the workload's file — warm starts
+ *                            skip generation entirely, and concurrent
+ *                            worker processes share one copy of every
+ *                            trace through the page cache. A miss with
+ *                            no (or a corrupt) file generates eagerly,
+ *                            then spills via an atomic rename so
+ *                            racing writers can never expose a partial
+ *                            file. Corrupt files (bad magic/version/
+ *                            fingerprint/length/checksum) are rejected
+ *                            and regenerated, never replayed.
  */
 class TraceArena
 {
@@ -408,6 +458,10 @@ class TraceArena
     uint64_t budgetBytes() const;
     void setBudgetBytes(uint64_t bytes);
 
+    /** On-disk arena directory ("" = in-memory only). */
+    std::string dir() const;
+    void setDir(std::string dir);
+
     /** Arena counters (the meta.traceArena block). */
     struct Stats
     {
@@ -419,6 +473,11 @@ class TraceArena
         uint64_t bytes = 0;
         uint64_t budgetBytes = 0;
         double genMs = 0.0;
+        /** Persistent-arena traffic (MAB_TRACE_ARENA_DIR). */
+        std::string dir;
+        uint64_t fileHits = 0;   ///< misses served by mmap'ing a file
+        uint64_t fileSpills = 0; ///< traces written to the directory
+        uint64_t fileRejects = 0; ///< corrupt files fallen back from
     };
 
     Stats stats() const;
@@ -460,6 +519,13 @@ class TraceArena
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
     uint64_t evictions_ = 0;
+    /** On-disk arena directory; "" keeps the arena in-memory only. */
+    std::string dir_;
+    /** File-traffic counters are atomic: they tick inside generators
+     *  running outside mu_ (acquire() drops the lock to generate). */
+    std::atomic<uint64_t> fileHits_{0};
+    std::atomic<uint64_t> fileSpills_{0};
+    std::atomic<uint64_t> fileRejects_{0};
 };
 
 /** Exact (collision-free) arena key fragment for @p profile. */

@@ -241,5 +241,112 @@ TEST(ResolveBatch, DuplicateFlagIsAUsageError)
         << err;
 }
 
+TEST(ResolveShards, DefaultsToOff)
+{
+    Args args({});
+    ShardSpec spec;
+    EXPECT_EQ(resolveShards(args.argc(), args.argv(), nullptr,
+                            nullptr, &spec),
+              "");
+    EXPECT_EQ(spec.shards, 1);
+    EXPECT_EQ(spec.shardId, -1) << "no worker role by default";
+}
+
+TEST(ResolveShards, FlagsSelectCountAndId)
+{
+    Args args({"--shards", "4", "--shard-id", "2"});
+    ShardSpec spec;
+    EXPECT_EQ(resolveShards(args.argc(), args.argv(), nullptr,
+                            nullptr, &spec),
+              "");
+    EXPECT_EQ(spec.shards, 4);
+    EXPECT_EQ(spec.shardId, 2);
+}
+
+TEST(ResolveShards, FlagOutranksEnvironment)
+{
+    Args args({"--shards", "3"});
+    ShardSpec spec;
+    EXPECT_EQ(
+        resolveShards(args.argc(), args.argv(), "8", "1", &spec), "");
+    EXPECT_EQ(spec.shards, 3) << "the flag outranks the environment";
+    EXPECT_EQ(spec.shardId, 1)
+        << "each knob falls back to the environment independently";
+
+    // The env id is validated against the effective (flag) count.
+    ShardSpec bad;
+    const std::string err =
+        resolveShards(args.argc(), args.argv(), "8", "5", &bad);
+    EXPECT_NE(err.find("must be below"), std::string::npos) << err;
+}
+
+TEST(ResolveShards, EnvironmentAloneConfiguresAWorker)
+{
+    Args args({});
+    ShardSpec spec;
+    EXPECT_EQ(
+        resolveShards(args.argc(), args.argv(), "4", "0", &spec), "");
+    EXPECT_EQ(spec.shards, 4);
+    EXPECT_EQ(spec.shardId, 0);
+}
+
+TEST(ResolveShards, DuplicateFlagIsAUsageError)
+{
+    Args args({"--shards", "2", "--shards", "4"});
+    ShardSpec spec;
+    const std::string err = resolveShards(args.argc(), args.argv(),
+                                          nullptr, nullptr, &spec);
+    EXPECT_NE(err.find("duplicate --shards"), std::string::npos)
+        << err;
+}
+
+TEST(ResolveShards, NonPositiveCountIsAUsageError)
+{
+    for (const char *bad : {"0", "-2", "many", "2.5", ""}) {
+        Args args({"--shards", bad});
+        ShardSpec spec;
+        const std::string err = resolveShards(
+            args.argc(), args.argv(), nullptr, nullptr, &spec);
+        EXPECT_NE(err.find("usage error"), std::string::npos)
+            << "--shards " << bad << ": " << err;
+        EXPECT_EQ(spec.shards, 1)
+            << "the out-param stays at the safe default";
+    }
+}
+
+TEST(ResolveShards, ShardIdWithoutACountIsAUsageError)
+{
+    Args args({"--shard-id", "0"});
+    ShardSpec spec;
+    const std::string err = resolveShards(args.argc(), args.argv(),
+                                          nullptr, nullptr, &spec);
+    EXPECT_NE(err.find("needs --shards"), std::string::npos) << err;
+}
+
+TEST(ResolveShards, NegativeOrNonNumericIdIsAUsageError)
+{
+    for (const char *bad : {"-1", "two", "1.0"}) {
+        Args args({"--shards", "4", "--shard-id", bad});
+        ShardSpec spec;
+        const std::string err = resolveShards(
+            args.argc(), args.argv(), nullptr, nullptr, &spec);
+        EXPECT_NE(err.find("usage error"), std::string::npos)
+            << "--shard-id " << bad << ": " << err;
+        EXPECT_EQ(spec.shardId, -1);
+    }
+}
+
+TEST(ResolveShards, IdAtOrAboveTheCountIsAUsageError)
+{
+    for (const char *bad : {"4", "9"}) {
+        Args args({"--shards", "4", "--shard-id", bad});
+        ShardSpec spec;
+        const std::string err = resolveShards(
+            args.argc(), args.argv(), nullptr, nullptr, &spec);
+        EXPECT_NE(err.find("must be below"), std::string::npos)
+            << "--shard-id " << bad << ": " << err;
+    }
+}
+
 } // namespace
 } // namespace mab::bench

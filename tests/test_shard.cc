@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/json.h"
+#include "sim/shard.h"
+
+using namespace mab;
+
+/**
+ * Shard-session tests: the deterministic i % N partition, the
+ * lossless double transport, and the worker -> partial -> merge round
+ * trip including every validation the merge performs (mismatched
+ * bench/scale/shard sets, duplicate ids, foreign indices, sweep-shape
+ * disagreements). The merge path is what makes `--shards N` reports
+ * byte-identical to unsharded runs, so its failure modes must be loud.
+ */
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class ShardTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ShardSession::global().reset();
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        tmp_ = fs::path(::testing::TempDir()) /
+            (std::string("mab_shard_") + info->name());
+        fs::remove_all(tmp_);
+        fs::create_directories(tmp_);
+    }
+
+    void
+    TearDown() override
+    {
+        ShardSession::global().reset();
+        fs::remove_all(tmp_);
+    }
+
+    /**
+     * Run a 3-worker session over one @p cells-cell sweep whose cell
+     * value is f(i), write the three partials, and return their paths.
+     */
+    std::vector<std::string>
+    writeThreePartials(size_t cells)
+    {
+        std::vector<std::string> paths;
+        for (int k = 0; k < 3; ++k) {
+            ShardSession &sh = ShardSession::global();
+            sh.reset();
+            sh.configureWorker(3, k, "bench_unit", "scale");
+            const std::vector<size_t> owned = sh.ownedIndices(cells);
+            std::vector<json::Value> values;
+            for (size_t i : owned)
+                values.push_back(encodeDouble(cellValue(i)));
+            sh.recordSweep(cells, owned, std::move(values));
+            const std::string path =
+                (tmp_ / ("part-" + std::to_string(k) + ".json"))
+                    .string();
+            std::string err;
+            EXPECT_TRUE(
+                sh.writePartial(path, json::Value::object(), &err))
+                << err;
+            paths.push_back(path);
+        }
+        ShardSession::global().reset();
+        return paths;
+    }
+
+    static double
+    cellValue(size_t i)
+    {
+        return 1.5 * static_cast<double>(i) + 0.25;
+    }
+
+    fs::path tmp_;
+};
+
+} // namespace
+
+TEST(EncodeDouble, RoundTripsEveryBitPattern)
+{
+    const double cases[] = {
+        0.0,
+        -0.0,
+        1.0,
+        -1.0 / 3.0,
+        1e-308,
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+    };
+    for (double v : cases) {
+        const std::string hex = encodeDouble(v);
+        EXPECT_EQ(hex.size(), 17u) << v;
+        const double back = decodeDouble(hex);
+        EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0)
+            << v << " via " << hex
+            << " (bit-exact, including the sign of zero)";
+    }
+    // NaN survives as the same bit pattern even though NaN != NaN.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double back = decodeDouble(encodeDouble(nan));
+    EXPECT_EQ(std::memcmp(&nan, &back, sizeof nan), 0);
+}
+
+TEST(DecodeDouble, RejectsMalformedTokens)
+{
+    for (const char *bad :
+         {"", "x", "0000000000000000", "xzz00000000000000",
+          "x00000000000000000", "x0000000000000g00"}) {
+        EXPECT_THROW(decodeDouble(bad), std::runtime_error) << bad;
+    }
+}
+
+TEST_F(ShardTest, PartitionIsDeterministicAndComplete)
+{
+    ShardSession &sh = ShardSession::global();
+    const size_t cells = 23;
+    std::vector<int> owner(cells, -1);
+    for (int k = 0; k < 5; ++k) {
+        sh.reset();
+        sh.configureWorker(5, k, "b", "s");
+        for (size_t i : sh.ownedIndices(cells)) {
+            EXPECT_TRUE(sh.owns(i));
+            EXPECT_EQ(owner[i], -1)
+                << "cell " << i << " owned twice";
+            owner[i] = k;
+            EXPECT_EQ(static_cast<int>(i % 5), k);
+        }
+    }
+    for (size_t i = 0; i < cells; ++i)
+        EXPECT_NE(owner[i], -1) << "cell " << i << " orphaned";
+}
+
+TEST_F(ShardTest, OffModeOwnsEverything)
+{
+    ShardSession &sh = ShardSession::global();
+    EXPECT_EQ(sh.mode(), ShardSession::Mode::Off);
+    EXPECT_TRUE(sh.owns(0));
+    EXPECT_TRUE(sh.owns(41));
+    EXPECT_EQ(sh.ownedIndices(7).size(), 7u);
+}
+
+TEST_F(ShardTest, WorkerMergeRoundTripReassemblesEveryCell)
+{
+    const size_t cells = 17; // not divisible by 3: ragged tails
+    const auto paths = writeThreePartials(cells);
+
+    ShardSession &sh = ShardSession::global();
+    std::string err;
+    ASSERT_TRUE(sh.loadPartials(paths, "bench_unit", "scale", &err))
+        << err;
+    EXPECT_EQ(sh.mode(), ShardSession::Mode::Merge);
+    EXPECT_EQ(sh.sweeps(), 1u);
+
+    const std::vector<json::Value> merged = sh.takeSweep(cells);
+    ASSERT_EQ(merged.size(), cells);
+    for (size_t i = 0; i < cells; ++i)
+        EXPECT_EQ(decodeDouble(merged[i].asString()), cellValue(i))
+            << "cell " << i;
+}
+
+TEST_F(ShardTest, MergeAcceptsPartialsInAnyOrder)
+{
+    auto paths = writeThreePartials(9);
+    std::swap(paths[0], paths[2]);
+    ShardSession &sh = ShardSession::global();
+    std::string err;
+    ASSERT_TRUE(sh.loadPartials(paths, "bench_unit", "scale", &err))
+        << err;
+    const auto merged = sh.takeSweep(9);
+    for (size_t i = 0; i < 9; ++i)
+        EXPECT_EQ(decodeDouble(merged[i].asString()), cellValue(i));
+}
+
+TEST_F(ShardTest, TakeSweepRejectsAForeignGridSize)
+{
+    const auto paths = writeThreePartials(10);
+    ShardSession &sh = ShardSession::global();
+    std::string err;
+    ASSERT_TRUE(sh.loadPartials(paths, "bench_unit", "scale", &err));
+    EXPECT_THROW(sh.takeSweep(11), std::runtime_error);
+}
+
+TEST_F(ShardTest, TakeSweepRejectsMoreSweepsThanRecorded)
+{
+    const auto paths = writeThreePartials(6);
+    ShardSession &sh = ShardSession::global();
+    std::string err;
+    ASSERT_TRUE(sh.loadPartials(paths, "bench_unit", "scale", &err));
+    sh.takeSweep(6);
+    EXPECT_THROW(sh.takeSweep(6), std::runtime_error)
+        << "the partials recorded one sweep, not two";
+}
+
+TEST_F(ShardTest, MergeRejectsAWrongBenchOrScale)
+{
+    const auto paths = writeThreePartials(6);
+    ShardSession &sh = ShardSession::global();
+    std::string err;
+    EXPECT_FALSE(sh.loadPartials(paths, "other_bench", "scale", &err));
+    EXPECT_NE(err.find("bench"), std::string::npos) << err;
+
+    sh.reset();
+    EXPECT_FALSE(
+        sh.loadPartials(paths, "bench_unit", "otherscale", &err));
+    EXPECT_NE(err.find("SCALE"), std::string::npos) << err;
+}
+
+TEST_F(ShardTest, MergeRejectsAMissingOrDuplicateShard)
+{
+    const auto paths = writeThreePartials(6);
+
+    ShardSession &sh = ShardSession::global();
+    std::string err;
+    EXPECT_FALSE(sh.loadPartials({paths[0], paths[1]}, "bench_unit",
+                                 "scale", &err))
+        << "two partials of a 3-way run cannot merge";
+
+    sh.reset();
+    EXPECT_FALSE(sh.loadPartials({paths[0], paths[1], paths[1]},
+                                 "bench_unit", "scale", &err));
+    EXPECT_NE(err.find("shard"), std::string::npos) << err;
+}
+
+TEST_F(ShardTest, MergeRejectsAForeignIndexClaim)
+{
+    // Re-emit shard 1's partial claiming cell 0, which i % 3 assigns
+    // to shard 0 — the merge must refuse the double-covered grid.
+    auto paths = writeThreePartials(6);
+    ShardSession &sh = ShardSession::global();
+    sh.configureWorker(3, 1, "bench_unit", "scale");
+    sh.recordSweep(6, {0, 4},
+                   {encodeDouble(0.0), encodeDouble(4.0)});
+    std::string err;
+    ASSERT_TRUE(sh.writePartial(paths[1], json::Value::object(),
+                                &err))
+        << err;
+    sh.reset();
+    EXPECT_FALSE(sh.loadPartials(paths, "bench_unit", "scale", &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST_F(ShardTest, MergeRejectsGarbageFiles)
+{
+    const std::string missing = (tmp_ / "nope.json").string();
+    ShardSession &sh = ShardSession::global();
+    std::string err;
+    EXPECT_FALSE(
+        sh.loadPartials({missing}, "bench_unit", "scale", &err));
+
+    const std::string garbage = (tmp_ / "garbage.json").string();
+    std::ofstream(garbage) << "not json at all {";
+    sh.reset();
+    EXPECT_FALSE(
+        sh.loadPartials({garbage}, "bench_unit", "scale", &err));
+}
+
+TEST_F(ShardTest, MultipleSweepsMergeInCallOrder)
+{
+    // Two sweeps of different sizes per worker, like fig7's four
+    // columns: call order is the sweep identity.
+    std::vector<std::string> paths;
+    for (int k = 0; k < 2; ++k) {
+        ShardSession &sh = ShardSession::global();
+        sh.reset();
+        sh.configureWorker(2, k, "b", "s");
+        for (size_t cells : {5u, 8u}) {
+            const auto owned = sh.ownedIndices(cells);
+            std::vector<json::Value> values;
+            for (size_t i : owned)
+                values.push_back(
+                    encodeDouble(static_cast<double>(cells * 100 + i)));
+            sh.recordSweep(cells, owned, std::move(values));
+        }
+        const std::string path =
+            (tmp_ / ("p" + std::to_string(k) + ".json")).string();
+        std::string err;
+        ASSERT_TRUE(
+            sh.writePartial(path, json::Value::object(), &err))
+            << err;
+        paths.push_back(path);
+    }
+
+    ShardSession &sh = ShardSession::global();
+    sh.reset();
+    std::string err;
+    ASSERT_TRUE(sh.loadPartials(paths, "b", "s", &err)) << err;
+    EXPECT_EQ(sh.sweeps(), 2u);
+    const auto first = sh.takeSweep(5);
+    const auto second = sh.takeSweep(8);
+    for (size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(decodeDouble(first[i].asString()), 500.0 + i);
+    for (size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(decodeDouble(second[i].asString()), 800.0 + i);
+}
