@@ -10,6 +10,9 @@
  *   bench_fuzz --max-seconds 60         time-capped campaign (CI)
  *   bench_fuzz --replay <caseSeed>      re-run one failing case
  *   bench_fuzz --replay <seed> --shrink ...and minimize the witness
+ *   bench_fuzz --domain drift           restrict to one oracle domain
+ *                                       (cache, bandit, sim, replay,
+ *                                       lockstep, drift, sweep)
  *   bench_fuzz --self-test              prove the harness catches
  *                                       planted cache bugs and shrinks
  *                                       them to short repros
@@ -46,12 +49,13 @@ printSummary(const fuzz::FuzzReport &report)
     std::printf("fuzz: %" PRIu64 " iterations (%" PRIu64
                 " cache, %" PRIu64 " bandit, %" PRIu64
                 " sim, %" PRIu64 " replay, %" PRIu64
-                " lockstep, %" PRIu64
+                " lockstep, %" PRIu64 " drift, %" PRIu64
                 " sweep cases), %zu failure(s)\n",
                 report.iterations, report.cacheCases,
                 report.banditCases, report.simCases,
                 report.replayCases, report.lockstepCases,
-                report.sweepCases, report.failures.size());
+                report.driftCases, report.sweepCases,
+                report.failures.size());
 }
 
 /**
@@ -158,6 +162,24 @@ main(int argc, char **argv)
         replay = true;
     }
 
+    err = findFlagValue(argc, argv, "--domain", &v);
+    if (!err.empty())
+        return usageError(err);
+    if (v) {
+        static const char *const kDomains[] = {
+            "cache", "bandit",   "sim",   "replay",
+            "lockstep", "drift", "sweep"};
+        bool known = false;
+        for (const char *d : kDomains)
+            known = known || std::strcmp(v, d) == 0;
+        if (!known)
+            return usageError(
+                std::string("usage error: unknown --domain '") + v +
+                "' (cache, bandit, sim, replay, lockstep, drift, "
+                "sweep)");
+        opt.domain = v;
+    }
+
     opt.shrink = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--shrink") == 0)
@@ -178,7 +200,8 @@ main(int argc, char **argv)
 
     if (replay) {
         fuzz::FuzzReport report;
-        fuzz::runFuzzIteration(replay_seed, report, opt.shrink);
+        fuzz::runFuzzIteration(replay_seed, report, opt.shrink,
+                               opt.domain);
         printSummary(report);
         if (!report.ok()) {
             printFailures(report);

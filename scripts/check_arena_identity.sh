@@ -46,6 +46,7 @@ if [ ${#benches[@]} -eq 0 ]; then
         bench_table9_smt_algos bench_ablation_hparams
         bench_ablation_normalization bench_ablation_rrrestart
         bench_ablation_step bench_ext_algorithms bench_ext_joint
+        bench_drift_scurve
     )
 fi
 
@@ -61,7 +62,8 @@ trap 'rm -rf "$tmp"' EXIT
 json_capable() {
     case "$1" in
     bench_fig8_singlecore | bench_fig9_timeliness | \
-        bench_table8_prefetch_algos | bench_table9_smt_algos)
+        bench_table8_prefetch_algos | bench_table9_smt_algos | \
+        bench_drift_scurve)
         return 0
         ;;
     esac

@@ -3,9 +3,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/types.h"
+#include "sim/stats_registry.h"
 
 namespace mab {
 
@@ -22,6 +25,8 @@ class RegretTracker
     explicit RegretTracker(std::vector<double> true_means)
         : means_(std::move(true_means))
     {
+        if (means_.empty())
+            throw std::invalid_argument("RegretTracker: no arms");
         best_ = *std::max_element(means_.begin(), means_.end());
     }
 
@@ -29,6 +34,8 @@ class RegretTracker
     void
     setMeans(std::vector<double> true_means)
     {
+        if (true_means.empty())
+            throw std::invalid_argument("RegretTracker: no arms");
         means_ = std::move(true_means);
         best_ = *std::max_element(means_.begin(), means_.end());
     }
@@ -37,6 +44,10 @@ class RegretTracker
     void
     record(ArmId arm)
     {
+        if (arm < 0 || static_cast<size_t>(arm) >= means_.size())
+            throw std::out_of_range(
+                "RegretTracker::record: arm " + std::to_string(arm) +
+                " outside [0, " + std::to_string(means_.size()) + ")");
         cumulative_ += best_ - means_[arm];
         ++steps_;
         history_.push_back(cumulative_);
@@ -64,6 +75,210 @@ class RegretTracker
     double cumulative_ = 0.0;
     uint64_t steps_ = 0;
     std::vector<double> history_;
+};
+
+/**
+ * Per-phase regret oracle for non-stationary environments (the drift
+ * suites, trace/drift.h). Where RegretTracker only sums one global
+ * number, this tracker opens a new phase at every setMeans() call,
+ * re-derives the oracle arm for that phase, and keeps per-phase
+ * regret plus post-shift recovery statistics: how many plays after a
+ * shift the policy needed before settling on the new best arm. The
+ * recovery criterion is @p recoveryWindow consecutive optimal plays
+ * (ties on the true mean count as optimal), so one lucky exploration
+ * hit does not register as recovered.
+ *
+ * Conservation invariants (enforced by the drift fuzz domain): the
+ * per-phase regrets sum to cumulative() and the per-phase step counts
+ * sum to steps(), exactly — phases partition the play sequence.
+ */
+class PhasedRegretTracker
+{
+  public:
+    struct PhaseStats
+    {
+        uint64_t startStep = 0; ///< global step index of the 1st play
+        uint64_t steps = 0;     ///< plays recorded in the phase
+        double regret = 0.0;    ///< regret accumulated in the phase
+        ArmId bestArm = kNoArm; ///< oracle arm of the phase
+        /** Plays before the recovery window began; == steps when the
+         *  phase never recovered. */
+        uint64_t recoverySteps = 0;
+        bool recovered = false;
+    };
+
+    explicit PhasedRegretTracker(std::vector<double> true_means,
+                                 int recovery_window = 8)
+        : recoveryWindow_(recovery_window)
+    {
+        if (recovery_window <= 0)
+            throw std::invalid_argument(
+                "PhasedRegretTracker: recovery window must be > 0");
+        openPhase(std::move(true_means));
+    }
+
+    /** Shift the environment: close the current phase and open a new
+     *  one with its own oracle arm and recovery clock. */
+    void
+    setMeans(std::vector<double> true_means)
+    {
+        openPhase(std::move(true_means));
+    }
+
+    /** Record one play of @p arm (bounds-checked). */
+    void
+    record(ArmId arm)
+    {
+        if (arm < 0 || static_cast<size_t>(arm) >= means_.size())
+            throw std::out_of_range(
+                "PhasedRegretTracker::record: arm " +
+                std::to_string(arm) + " outside [0, " +
+                std::to_string(means_.size()) + ")");
+        PhaseStats &ph = phases_.back();
+        const double gap = best_ - means_[arm];
+        ph.regret += gap;
+        ++ph.steps;
+        cumulative_ += gap;
+        ++steps_;
+        if (!ph.recovered) {
+            // Tie-tolerant: any arm sharing the best true mean is an
+            // optimal play.
+            if (means_[arm] == best_)
+                ++streak_;
+            else
+                streak_ = 0;
+            if (streak_ >= recoveryWindow_) {
+                ph.recovered = true;
+                ph.recoverySteps =
+                    ph.steps - static_cast<uint64_t>(recoveryWindow_);
+            } else {
+                ph.recoverySteps = ph.steps;
+            }
+        }
+    }
+
+    double cumulative() const { return cumulative_; }
+    uint64_t steps() const { return steps_; }
+    size_t numPhases() const { return phases_.size(); }
+    int recoveryWindow() const { return recoveryWindow_; }
+
+    /** Per-phase statistics; the last entry is the live phase. */
+    const std::vector<PhaseStats> &phases() const { return phases_; }
+
+    /** Mean per-step regret of phase @p i (0 for an empty phase). */
+    double
+    phaseRegretRate(size_t i) const
+    {
+        const PhaseStats &ph = phases_.at(i);
+        return ph.steps == 0
+            ? 0.0
+            : ph.regret / static_cast<double>(ph.steps);
+    }
+
+    /** Fraction of phases that reached the recovery criterion. */
+    double
+    recoveredFraction() const
+    {
+        size_t n = 0;
+        for (const PhaseStats &ph : phases_)
+            n += ph.recovered ? 1 : 0;
+        return static_cast<double>(n) /
+            static_cast<double>(phases_.size());
+    }
+
+    /**
+     * Mean plays-to-recovery over all phases, counting a phase that
+     * never recovered at its full length — an unrecovered phase is
+     * "at least this slow", so the mean stays honest.
+     */
+    double
+    meanRecoverySteps() const
+    {
+        double sum = 0.0;
+        for (const PhaseStats &ph : phases_)
+            sum += static_cast<double>(
+                ph.recovered ? ph.recoverySteps : ph.steps);
+        return sum / static_cast<double>(phases_.size());
+    }
+
+    /**
+     * Mean per-step regret over phases [first, end) — the post-shift
+     * regime. A policy that re-learns after shifts shows a tail rate
+     * far below a policy whose estimates have ossified (for which
+     * per-phase regret keeps growing linearly, i.e. the rate stays
+     * at its phase-entry level).
+     */
+    double
+    tailRegretRate(size_t first = 1) const
+    {
+        double regret = 0.0;
+        uint64_t steps = 0;
+        for (size_t i = std::min(first, phases_.size() - 1);
+             i < phases_.size(); ++i) {
+            regret += phases_[i].regret;
+            steps += phases_[i].steps;
+        }
+        return steps == 0 ? 0.0
+                          : regret / static_cast<double>(steps);
+    }
+
+    /**
+     * Export under @p prefix: cumulative/steps/phases scalars, the
+     * recovery summary, and per-phase regret-rate / recovery-step
+     * distributions plus (phase index, regret) series.
+     */
+    void
+    exportStats(StatsRegistry &reg, const std::string &prefix) const
+    {
+        reg.setScalar(prefix + ".cumulativeRegret", cumulative_);
+        reg.setCounter(prefix + ".steps", steps_);
+        reg.setCounter(prefix + ".phases", phases_.size());
+        reg.setScalar(prefix + ".recoveredFraction",
+                      recoveredFraction());
+        reg.setScalar(prefix + ".meanRecoverySteps",
+                      meanRecoverySteps());
+        reg.setScalar(prefix + ".tailRegretRate", tailRegretRate());
+        Distribution &rate =
+            reg.distribution(prefix + ".phaseRegretRate");
+        Distribution &rec =
+            reg.distribution(prefix + ".recoverySteps");
+        TimeSeries &series =
+            reg.timeSeries(prefix + ".phaseRegret");
+        for (size_t i = 0; i < phases_.size(); ++i) {
+            const PhaseStats &ph = phases_[i];
+            rate.add(phaseRegretRate(i));
+            rec.add(static_cast<double>(
+                ph.recovered ? ph.recoverySteps : ph.steps));
+            series.add(static_cast<double>(i), ph.regret);
+        }
+    }
+
+  private:
+    void
+    openPhase(std::vector<double> true_means)
+    {
+        if (true_means.empty())
+            throw std::invalid_argument(
+                "PhasedRegretTracker: no arms");
+        means_ = std::move(true_means);
+        const auto best =
+            std::max_element(means_.begin(), means_.end());
+        best_ = *best;
+        PhaseStats ph;
+        ph.startStep = steps_;
+        ph.bestArm =
+            static_cast<ArmId>(best - means_.begin());
+        phases_.push_back(ph);
+        streak_ = 0;
+    }
+
+    std::vector<double> means_;
+    double best_ = 0.0;
+    double cumulative_ = 0.0;
+    uint64_t steps_ = 0;
+    int recoveryWindow_ = 8;
+    int streak_ = 0;
+    std::vector<PhaseStats> phases_;
 };
 
 } // namespace mab

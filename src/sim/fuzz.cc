@@ -1546,6 +1546,244 @@ checkLockstepEquivalence(uint64_t seed)
 }
 
 // ---------------------------------------------------------------------
+// Drifting-generator oracle
+// ---------------------------------------------------------------------
+
+std::string
+formatDriftCase(const DriftCase &c)
+{
+    static const char *const kinds[] = {"phase-shift", "cyclic",
+                                        "adversarial"};
+    std::ostringstream os;
+    os << "drift case: kind=" << kinds[c.kind % 3]
+       << " instr=" << c.instructions
+       << " segments=" << c.drift.schedule.size()
+       << " phases=" << c.drift.app.phases.size()
+       << " seed=" << c.drift.app.seed << " cells=" << c.cells.size()
+       << " env{arms=" << c.env.numArms << " steps=" << c.env.steps
+       << " period=" << c.env.periodSteps << " seed=" << c.env.seed
+       << " recovery=" << c.env.recoveryWindow
+       << "} policy=" << c.policy.label;
+    return os.str();
+}
+
+DriftCase
+genDriftCase(uint64_t seed)
+{
+    Rng rng(subSeed(seed, 120));
+    DriftCase c;
+    c.kind = static_cast<int>(rng.below(3));
+    // Contrasting bases with randomized patterns/footprints come from
+    // the sim-case generator, so drifting streams inherit its variety
+    // (degenerate geometries, every pattern kind).
+    const AppProfile a = genSimCase(subSeed(seed, 121)).app;
+    const AppProfile b = genSimCase(subSeed(seed, 122)).app;
+    const uint64_t total = 1500 + rng.below(2000);
+    const uint64_t period = 200 + rng.below(600);
+    const uint64_t drift_seed = subSeed(seed, 123) | 1;
+    switch (c.kind) {
+      case 0: {
+        std::vector<uint64_t> shifts;
+        const size_t segments = 2 + rng.below(4);
+        for (size_t i = 0; i < segments; ++i)
+            shifts.push_back(250 + rng.below(900));
+        c.drift = makePhaseShiftProfile("fuzz_drift_shift", {a, b},
+                                        shifts, drift_seed);
+        break;
+      }
+      case 1:
+        c.drift = makeCyclicProfile("fuzz_drift_cyclic", a, b, period,
+                                    total, drift_seed);
+        break;
+      default:
+        c.drift = makeAdversarialProfile("fuzz_drift_adv", a, b,
+                                         period, total, drift_seed);
+        break;
+    }
+    c.instructions =
+        std::min<uint64_t>(c.drift.totalInstrs(),
+                           1200 + rng.below(1800));
+    // Two heterogeneous machine cells, like the lockstep oracle.
+    for (uint64_t i = 0; i < 2; ++i) {
+        const SimCase donor = genSimCase(subSeed(seed, 130 + i));
+        LockstepCell cell;
+        cell.hier = donor.hier;
+        cell.dram = donor.dram;
+        cell.prefetcher = donor.prefetcher;
+        c.cells.push_back(std::move(cell));
+    }
+    // Drifting-bandit rollout: random horizon, shift period, policy.
+    c.env.numArms = 3 + static_cast<int>(rng.below(3));
+    c.env.steps = 400 + rng.below(1200);
+    c.env.periodSteps = 60 + rng.below(300);
+    c.env.seed = subSeed(seed, 140);
+    c.env.recoveryWindow = 4 + static_cast<int>(rng.below(6));
+    const std::vector<DriftPolicySpec> pool = driftPolicyGrid();
+    c.policy = pool[rng.below(pool.size())];
+    return c;
+}
+
+std::string
+diffDriftCase(const DriftCase &c)
+{
+    // Schedule structure: contiguous, non-empty segments covering the
+    // generated phase list exactly, with driftSegmentAt agreeing at
+    // both edges of every segment.
+    const std::vector<DriftSegment> &sched = c.drift.schedule;
+    if (sched.empty())
+        return "drift schedule is empty (" + formatDriftCase(c) + ")";
+    uint64_t phase_sum = 0;
+    for (const PatternPhase &ph : c.drift.app.phases)
+        phase_sum += ph.lengthInstrs;
+    uint64_t at = 0;
+    for (size_t i = 0; i < sched.size(); ++i) {
+        if (sched[i].startInstr != at || sched[i].lengthInstrs == 0)
+            return "drift schedule segment " + std::to_string(i) +
+                " is not contiguous (" + formatDriftCase(c) + ")";
+        if (driftSegmentAt(sched, at) != i ||
+            driftSegmentAt(sched, at + sched[i].lengthInstrs - 1) != i)
+            return "driftSegmentAt disagrees with segment " +
+                std::to_string(i) + " boundaries (" +
+                formatDriftCase(c) + ")";
+        at += sched[i].lengthInstrs;
+    }
+    if (at != c.drift.totalInstrs() || at != phase_sum)
+        return "drift schedule does not cover the profile (" +
+            formatDriftCase(c) + ")";
+
+    // Replay equivalence of the drifting stream: record-for-record
+    // (fresh and post-reset), then end-to-end counters of one cell
+    // run over live generation vs materialized replay — the arena-on
+    // vs arena-off delivery paths.
+    const uint64_t n = c.instructions;
+    const auto mat =
+        std::make_shared<MaterializedTrace>(c.drift.app, n);
+    {
+        SyntheticTrace live(c.drift.app);
+        ReplaySource replay(mat);
+        std::string err =
+            diffRecordStreams(live, replay, n, "drift fresh");
+        if (!err.empty())
+            return err + " (" + formatDriftCase(c) + ")";
+        live.reset();
+        replay.reset();
+        err = diffRecordStreams(live, replay, n, "drift post-reset");
+        if (!err.empty())
+            return err + " (" + formatDriftCase(c) + ")";
+    }
+    if (!c.cells.empty()) {
+        SimCase sc;
+        sc.app = c.drift.app;
+        sc.hier = c.cells[0].hier;
+        sc.dram = c.cells[0].dram;
+        sc.prefetcher = c.cells[0].prefetcher;
+        sc.instructions = n;
+        SyntheticTrace live(c.drift.app);
+        const std::vector<uint64_t> want = simCounters(sc, live);
+        ReplaySource replay(mat);
+        const std::vector<uint64_t> got = simCounters(sc, replay);
+        for (size_t i = 0; i < want.size(); ++i) {
+            if (want[i] != got[i])
+                return std::string("drift counter ") +
+                    kCoreCounterNames[i] +
+                    " differs between live and replay delivery (" +
+                    formatDriftCase(c) + ")";
+        }
+    }
+
+    // Lockstep-vs-independent identity over one shared drifting
+    // stream.
+    if (c.cells.size() >= 2) {
+        LockstepCase lc;
+        lc.app = c.drift.app;
+        lc.instructions = n;
+        lc.cells = c.cells;
+        const std::string err = diffLockstepCase(lc);
+        if (!err.empty())
+            return err;
+    }
+
+    // Regret conservation at the per-phase oracle: phases partition
+    // the rollout (exact step counts, expected phase count) and the
+    // per-phase regrets sum to the cumulative total.
+    const std::unique_ptr<MabPolicy> policy =
+        makeDriftPolicy(c.policy, c.env.numArms, c.env.seed | 1);
+    const PhasedRegretTracker tracker =
+        runDriftingBandit(*policy, c.env);
+    double phase_regret = 0.0;
+    uint64_t phase_steps = 0;
+    for (const PhasedRegretTracker::PhaseStats &ph :
+         tracker.phases()) {
+        phase_regret += ph.regret;
+        phase_steps += ph.steps;
+    }
+    if (phase_steps != tracker.steps() ||
+        tracker.steps() != c.env.steps)
+        return "per-phase step counts do not partition the rollout "
+               "(" +
+            formatDriftCase(c) + ")";
+    const uint64_t want_phases =
+        (c.env.steps + c.env.periodSteps - 1) / c.env.periodSteps;
+    if (tracker.numPhases() != want_phases)
+        return "phase count " + std::to_string(tracker.numPhases()) +
+            " != expected " + std::to_string(want_phases) + " (" +
+            formatDriftCase(c) + ")";
+    const double tol =
+        1e-9 * (1.0 + std::abs(tracker.cumulative()));
+    if (std::abs(phase_regret - tracker.cumulative()) > tol)
+        return "per-phase regret does not sum to cumulative (" +
+            formatDriftCase(c) + ")";
+    return "";
+}
+
+DriftCase
+shrinkDriftCase(const DriftCase &c)
+{
+    DriftCase cur = c;
+    const auto fails = [](const DriftCase &t) {
+        return !diffDriftCase(t).empty();
+    };
+    if (!fails(cur))
+        return cur;
+    while (cur.instructions > 256) {
+        DriftCase trial = cur;
+        trial.instructions /= 2;
+        if (!fails(trial))
+            break;
+        cur = trial;
+    }
+    while (cur.env.steps > 64) {
+        DriftCase trial = cur;
+        trial.env.steps /= 2;
+        if (!fails(trial))
+            break;
+        cur = trial;
+    }
+    const auto tryKnob = [&](auto &&mutate) {
+        DriftCase trial = cur;
+        mutate(trial);
+        if (fails(trial))
+            cur = trial;
+    };
+    for (size_t i = 0; i < cur.cells.size(); ++i) {
+        tryKnob([i](DriftCase &t) {
+            t.cells[i].prefetcher = "None";
+        });
+        tryKnob([i](DriftCase &t) {
+            t.cells[i].hier = HierarchyConfig{};
+        });
+        tryKnob([i](DriftCase &t) { t.cells[i].dram = DramConfig{}; });
+    }
+    return cur;
+}
+
+std::string
+checkDriftEquivalence(uint64_t seed)
+{
+    return diffDriftCase(genDriftCase(subSeed(seed, 5)));
+}
+
+// ---------------------------------------------------------------------
 // Serial-vs-parallel sweep oracle
 // ---------------------------------------------------------------------
 
@@ -1649,6 +1887,7 @@ FuzzReport::merge(const FuzzReport &other)
     simCases += other.simCases;
     replayCases += other.replayCases;
     lockstepCases += other.lockstepCases;
+    driftCases += other.driftCases;
     sweepCases += other.sweepCases;
     failures.insert(failures.end(), other.failures.begin(),
                     other.failures.end());
@@ -1663,11 +1902,24 @@ iterationSeed(uint64_t seedBase, uint64_t index)
 void
 runFuzzIteration(uint64_t caseSeed, FuzzReport &report, bool shrink)
 {
+    runFuzzIteration(caseSeed, report, shrink, std::string());
+}
+
+void
+runFuzzIteration(uint64_t caseSeed, FuzzReport &report, bool shrink,
+                 const std::string &domain)
+{
     ++report.iterations;
     const std::string repro = "bench_fuzz --replay " +
         std::to_string(caseSeed) + " --shrink";
+    // Empty domain = every oracle (the default campaign); otherwise
+    // only the named one runs, so CI can give a slow domain its own
+    // time-capped leg.
+    const auto enabled = [&domain](const char *name) {
+        return domain.empty() || domain == name;
+    };
 
-    {
+    if (enabled("cache")) {
         ++report.cacheCases;
         const CacheCase cc = genCacheCase(subSeed(caseSeed, 1));
         std::string err = diffCacheCase(cc);
@@ -1683,7 +1935,7 @@ runFuzzIteration(uint64_t caseSeed, FuzzReport &report, bool shrink)
                 {caseSeed, "cache", err, repro});
         }
     }
-    {
+    if (enabled("bandit")) {
         ++report.banditCases;
         const BanditCase bc = genBanditCase(subSeed(caseSeed, 2));
         std::string err = diffBanditCase(bc);
@@ -1696,7 +1948,7 @@ runFuzzIteration(uint64_t caseSeed, FuzzReport &report, bool shrink)
                 {caseSeed, "bandit", err, repro});
         }
     }
-    {
+    if (enabled("sim")) {
         ++report.simCases;
         const SimCase sc = genSimCase(subSeed(caseSeed, 3));
         std::string err = checkSimProperties(sc);
@@ -1708,14 +1960,14 @@ runFuzzIteration(uint64_t caseSeed, FuzzReport &report, bool shrink)
             report.failures.push_back({caseSeed, "sim", err, repro});
         }
     }
-    {
+    if (enabled("replay")) {
         ++report.replayCases;
         const std::string err = checkReplayEquivalence(caseSeed);
         if (!err.empty())
             report.failures.push_back(
                 {caseSeed, "replay", err, repro});
     }
-    {
+    if (enabled("lockstep")) {
         ++report.lockstepCases;
         const LockstepCase lc = genLockstepCase(subSeed(caseSeed, 4));
         std::string err = diffLockstepCase(lc);
@@ -1728,10 +1980,25 @@ runFuzzIteration(uint64_t caseSeed, FuzzReport &report, bool shrink)
                 {caseSeed, "lockstep", err, repro});
         }
     }
+    if (enabled("drift")) {
+        ++report.driftCases;
+        const DriftCase dc = genDriftCase(subSeed(caseSeed, 5));
+        std::string err = diffDriftCase(dc);
+        if (!err.empty()) {
+            if (shrink) {
+                const DriftCase min = shrinkDriftCase(dc);
+                err += "\nminimized: " + formatDriftCase(min);
+            }
+            report.failures.push_back(
+                {caseSeed, "drift", err, repro});
+        }
+    }
     // The sweep oracle spawns threads; run it on a deterministic
     // subset of case seeds (~1 in 8) so long fuzz campaigns stay
-    // dominated by the cheap checks.
-    if ((caseSeed & 7) == 0) {
+    // dominated by the cheap checks. A focused --domain sweep run
+    // skips the subsampling.
+    if (enabled("sweep") &&
+        (domain == "sweep" || (caseSeed & 7) == 0)) {
         ++report.sweepCases;
         const std::string err = checkSweepEquivalence(caseSeed);
         if (!err.empty())
@@ -1771,7 +2038,7 @@ runFuzz(const FuzzOptions &opt)
                 FuzzReport r;
                 runFuzzIteration(
                     iterationSeed(opt.seedBase, index + k), r,
-                    opt.shrink);
+                    opt.shrink, opt.domain);
                 return r;
             });
         for (const FuzzReport &r : reports)

@@ -7,10 +7,12 @@
 #include <string>
 #include <vector>
 
+#include "core/drift_env.h"
 #include "core/factory.h"
 #include "memory/cache.h"
 #include "memory/dram.h"
 #include "memory/hierarchy.h"
+#include "trace/drift.h"
 #include "trace/generator.h"
 
 namespace mab::fuzz {
@@ -410,6 +412,59 @@ LockstepCase shrinkLockstepCase(const LockstepCase &c);
 std::string checkLockstepEquivalence(uint64_t seed);
 
 // ---------------------------------------------------------------------
+// Drifting-generator oracle
+// ---------------------------------------------------------------------
+
+/**
+ * A drift differential case: one seeded drifting profile (phase-
+ * shifting, cyclic or adversarial — trace/drift.h) checked across the
+ * whole delivery stack, plus a drifting-bandit rollout checked for
+ * regret conservation against the per-phase oracle (core/regret.h).
+ */
+struct DriftCase
+{
+    /** 0 = phase-shift, 1 = cyclic, 2 = adversarial. */
+    int kind = 1;
+    DriftProfile drift;
+    uint64_t instructions = 2000;
+    /** Two heterogeneous cells for the lockstep identity leg. */
+    std::vector<LockstepCell> cells;
+    /** Regret-conservation rollout over the moving oracle. */
+    DriftBanditConfig env;
+    DriftPolicySpec policy;
+};
+
+std::string formatDriftCase(const DriftCase &c);
+
+/** Generate a drift case: random generator kind, shift schedule,
+ *  machine cells and bandit environment, all from @p seed. */
+DriftCase genDriftCase(uint64_t seed);
+
+/**
+ * Check the case end to end:
+ *  - schedule structure: contiguous segments covering the profile's
+ *    phase lengths exactly, driftSegmentAt agreeing at boundaries;
+ *  - replay equivalence: a live SyntheticTrace of the drifting
+ *    profile vs its materialized replay, record-for-record (fresh and
+ *    post-reset) and end-to-end counters (arena-on vs arena-off
+ *    delivery of the same drifting stream);
+ *  - lockstep identity: the case's cells over one shared drifting
+ *    stream vs independent runs;
+ *  - regret conservation: per-phase regrets of the
+ *    PhasedRegretTracker sum exactly to cumulative(), per-phase step
+ *    counts to steps(), with the expected phase count.
+ * Returns "" on agreement, else the first divergence.
+ */
+std::string diffDriftCase(const DriftCase &c);
+
+/** Shrink a failing drift case: halve the run and the rollout, then
+ *  default the cell configs. */
+DriftCase shrinkDriftCase(const DriftCase &c);
+
+/** diffDriftCase over a freshly generated case. */
+std::string checkDriftEquivalence(uint64_t seed);
+
+// ---------------------------------------------------------------------
 // Serial-vs-parallel sweep oracle
 // ---------------------------------------------------------------------
 
@@ -436,6 +491,9 @@ struct FuzzOptions
     bool stopOnFailure = true;
     /** Parallel fuzz lanes (iterations are independent). */
     int jobs = 1;
+    /** Restrict to one domain ("cache", "bandit", "sim", "replay",
+     *  "lockstep", "drift", "sweep"); empty runs them all. */
+    std::string domain;
 };
 
 struct FuzzFailure
@@ -455,6 +513,7 @@ struct FuzzReport
     uint64_t simCases = 0;
     uint64_t replayCases = 0;
     uint64_t lockstepCases = 0;
+    uint64_t driftCases = 0;
     uint64_t sweepCases = 0;
     std::vector<FuzzFailure> failures;
 
@@ -470,10 +529,13 @@ uint64_t iterationSeed(uint64_t seedBase, uint64_t index);
  * Run every domain check for one case seed (the sweep oracle runs on
  * a deterministic subset of seeds — thread spawn is comparatively
  * expensive). Failures are appended to @p report, shrunk first when
- * @p shrink is set.
+ * @p shrink is set. A non-empty @p domain restricts the iteration to
+ * that single domain (the CI drift leg, `bench_fuzz --domain`).
  */
 void runFuzzIteration(uint64_t caseSeed, FuzzReport &report,
                       bool shrink);
+void runFuzzIteration(uint64_t caseSeed, FuzzReport &report,
+                      bool shrink, const std::string &domain);
 
 /** The full fuzz loop (the core of the bench_fuzz driver). */
 FuzzReport runFuzz(const FuzzOptions &opt);

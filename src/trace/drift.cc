@@ -1,0 +1,174 @@
+#include "trace/drift.h"
+
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace mab {
+
+namespace {
+
+/**
+ * Append one drift segment to @p phases: replay @p base from its
+ * start for exactly @p len instructions, tiling the base's own phase
+ * list cyclically and truncating the final piece. The appended pieces
+ * keep every pattern parameter of the base phase; only lengthInstrs
+ * changes, so segment boundaries land on exact instruction counts.
+ */
+void
+appendSlice(std::vector<PatternPhase> &phases, const AppProfile &base,
+            uint64_t len)
+{
+    if (base.phases.empty())
+        throw std::invalid_argument(
+            "drift: base profile '" + base.name + "' has no phases");
+    size_t idx = 0;
+    while (len > 0) {
+        PatternPhase ph = base.phases[idx % base.phases.size()];
+        ph.lengthInstrs = std::min(ph.lengthInstrs, len);
+        len -= ph.lengthInstrs;
+        phases.push_back(std::move(ph));
+        ++idx;
+    }
+}
+
+DriftProfile
+buildDrift(const std::string &name,
+           const std::vector<AppProfile> &bases,
+           const std::vector<std::pair<size_t, uint64_t>> &segments,
+           uint64_t seed)
+{
+    if (bases.empty())
+        throw std::invalid_argument("drift: no base profiles");
+    DriftProfile out;
+    out.app.name = name;
+    out.app.seed = seed;
+    // Loop the whole drift pattern if a run outlives the schedule:
+    // drift never degenerates into a stationary tail.
+    out.app.loopPhases = true;
+    uint64_t at = 0;
+    for (const auto &[baseIdx, len] : segments) {
+        if (len == 0)
+            continue;
+        appendSlice(out.app.phases, bases[baseIdx], len);
+        out.schedule.push_back({baseIdx, at, len});
+        at += len;
+    }
+    if (out.schedule.empty())
+        throw std::invalid_argument("drift: empty shift schedule");
+    return out;
+}
+
+} // namespace
+
+size_t
+driftSegmentAt(const std::vector<DriftSegment> &schedule, uint64_t instr)
+{
+    if (schedule.empty())
+        throw std::invalid_argument("driftSegmentAt: empty schedule");
+    for (size_t i = 0; i < schedule.size(); ++i) {
+        if (instr < schedule[i].startInstr + schedule[i].lengthInstrs)
+            return i;
+    }
+    return schedule.size() - 1;
+}
+
+DriftProfile
+makePhaseShiftProfile(const std::string &name,
+                      const std::vector<AppProfile> &bases,
+                      const std::vector<uint64_t> &shiftSchedule,
+                      uint64_t seed)
+{
+    if (bases.empty())
+        throw std::invalid_argument("drift: no base profiles");
+    std::vector<std::pair<size_t, uint64_t>> segments;
+    segments.reserve(shiftSchedule.size());
+    for (size_t i = 0; i < shiftSchedule.size(); ++i)
+        segments.emplace_back(i % bases.size(), shiftSchedule[i]);
+    return buildDrift(name, bases, segments, seed);
+}
+
+DriftProfile
+makeCyclicProfile(const std::string &name, const AppProfile &a,
+                  const AppProfile &b, uint64_t periodInstrs,
+                  uint64_t totalInstrs, uint64_t seed)
+{
+    if (periodInstrs == 0 || totalInstrs == 0)
+        throw std::invalid_argument(
+            "drift: cyclic period/total must be nonzero");
+    std::vector<std::pair<size_t, uint64_t>> segments;
+    uint64_t at = 0;
+    for (size_t i = 0; at < totalInstrs; ++i) {
+        const uint64_t len = std::min(periodInstrs, totalInstrs - at);
+        segments.emplace_back(i % 2, len);
+        at += len;
+    }
+    return buildDrift(name, {a, b}, segments, seed);
+}
+
+DriftProfile
+makeAdversarialProfile(const std::string &name, const AppProfile &a,
+                       const AppProfile &b, uint64_t windowInstrs,
+                       uint64_t totalInstrs, uint64_t seed)
+{
+    if (windowInstrs < 2 || totalInstrs == 0)
+        throw std::invalid_argument(
+            "drift: adversarial window must be >= 2, total nonzero");
+    // Segment lengths in [W/2, 3W/2], drawn from the profile seed: a
+    // policy whose estimates average ~W instructions of history is
+    // kept permanently mid-transition, and the jitter keeps fixed
+    // phase-locked schedules (Periodic-style) from lining up.
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + 0xD1F7);
+    std::vector<std::pair<size_t, uint64_t>> segments;
+    uint64_t at = 0;
+    for (size_t i = 0; at < totalInstrs; ++i) {
+        const uint64_t lo = windowInstrs / 2;
+        const uint64_t draw =
+            lo + rng.below(windowInstrs + 1); // [W/2, 3W/2]
+        const uint64_t len =
+            std::min(std::max<uint64_t>(draw, 1), totalInstrs - at);
+        segments.emplace_back(i % 2, len);
+        at += len;
+    }
+    return buildDrift(name, {a, b}, segments, seed);
+}
+
+std::vector<AppProfile>
+driftBaseProfiles()
+{
+    constexpr uint64_t kMiB = 1024 * 1024;
+    // Streaming regime: long sequential sweeps, aggressive prefetch
+    // arms win big.
+    AppProfile streamy;
+    streamy.name = "drift_stream";
+    streamy.seed = 901;
+    {
+        PatternPhase ph;
+        ph.kind = PatternKind::Streaming;
+        ph.memFraction = 0.42;
+        ph.storeFraction = 0.3;
+        ph.footprintBytes = 96 * kMiB;
+        ph.accessesPerLine = 12;
+        ph.lengthInstrs = 1'000'000;
+        streamy.phases.push_back(ph);
+    }
+    // Pointer-chase regime: dependent loads, prefetching only
+    // pollutes — the opposite arm is optimal.
+    AppProfile chasey;
+    chasey.name = "drift_chase";
+    chasey.seed = 902;
+    {
+        PatternPhase ph;
+        ph.kind = PatternKind::PointerChase;
+        ph.memFraction = 0.36;
+        ph.mispredictRate = 0.03;
+        ph.footprintBytes = 96 * kMiB;
+        ph.accessesPerLine = 2;
+        ph.chaseSerialFrac = 0.2;
+        ph.lengthInstrs = 1'000'000;
+        chasey.phases.push_back(ph);
+    }
+    return {streamy, chasey};
+}
+
+} // namespace mab

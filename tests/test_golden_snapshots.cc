@@ -4,11 +4,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/drift_env.h"
 #include "cpu/bandit_prefetch.h"
 #include "cpu/core_model.h"
 #include "cpu/multicore.h"
@@ -16,8 +18,10 @@
 #include "sim/json.h"
 #include "sim/lockstep.h"
 #include "sim/parallel.h"
+#include "sim/shard.h"
 #include "sim/stats_registry.h"
 #include "smt/smt_sim.h"
+#include "trace/drift.h"
 #include "trace/replay.h"
 #include "trace/suites.h"
 
@@ -374,6 +378,171 @@ TEST(GoldenSnapshot, LockstepBatchingLeavesGoldensUnchanged)
                 << " diverged between lockstep and per-run export";
         checkAgainstGolden(scenario, snap);
     }
+}
+
+// ---------------------------------------------------------------------
+// Non-stationarity lab (trace/drift.h + core/drift_env.h)
+// ---------------------------------------------------------------------
+
+constexpr uint64_t kDriftInstr = 100'000;
+
+/** The two drifting workloads of the drift golden. */
+DriftProfile
+driftWorkload(size_t i)
+{
+    const std::vector<AppProfile> bases = driftBaseProfiles();
+    if (i == 0)
+        return makeCyclicProfile("golden_drift_cyc", bases[0],
+                                 bases[1], 25'000, kDriftInstr, 977);
+    return makeAdversarialProfile("golden_drift_adv", bases[0],
+                                  bases[1], 12'500, kDriftInstr, 979);
+}
+
+/**
+ * Full-stack metrics of drift cell @p i — either the plain per-run
+ * path or a LockstepBatch with a bandit rider cell sharing the
+ * drifting stream. The two must serialize to identical bytes.
+ */
+json::Value
+driftCellMetrics(size_t i, bool lockstep)
+{
+    const DriftProfile d = driftWorkload(i);
+    TraceArena &arena = TraceArena::global();
+    const auto trace = arena.enabled()
+        ? arena.acquireTrace(d.app, kDriftInstr)
+        : MaterializedTrace::generate(d.app, kDriftInstr);
+
+    StatsRegistry reg;
+    reg.setCounter("meta.instructions", kDriftInstr);
+    reg.setCounter("meta.segments", d.schedule.size());
+    StridePrefetcher pf(64, 1);
+    if (lockstep) {
+        BanditPrefetchController rider(scaledBanditConfig());
+        LockstepBatch lb(trace, kDriftInstr);
+        lb.addCell(CoreConfig{}, HierarchyConfig{}, DramConfig{},
+                   &pf);
+        lb.addCell(CoreConfig{}, HierarchyConfig{}, DramConfig{},
+                   &rider);
+        lb.run();
+        lb.core(0).exportStats(reg, "core");
+    } else {
+        ReplaySource src(trace);
+        CoreModel core(CoreConfig{}, HierarchyConfig{}, src, &pf);
+        core.run(kDriftInstr);
+        core.exportStats(reg, "core");
+    }
+    return reg.toJson();
+}
+
+/**
+ * The drift_scurve golden: both drifting workloads through the full
+ * stack plus the per-phase regret oracle of a DUCB rollout on the
+ * synthetic drifting bandit. Shard-aware like the bench sweeps: a
+ * worker computes only the cells it owns (returning an empty
+ * partial), a merge run decodes them — which is exactly what makes
+ * the sharding-invariance test below an end-to-end proof.
+ */
+json::Value
+driftSnapshot(bool lockstep = false)
+{
+    const size_t n = 2;
+    ShardSession &sh = ShardSession::global();
+    std::vector<json::Value> cells;
+    if (sh.mode() == ShardSession::Mode::Merge) {
+        cells = sh.takeSweep(n);
+    } else if (sh.mode() == ShardSession::Mode::Worker) {
+        const std::vector<size_t> owned = sh.ownedIndices(n);
+        std::vector<json::Value> vals;
+        for (size_t i : owned)
+            vals.push_back(driftCellMetrics(i, lockstep));
+        sh.recordSweep(n, owned, std::move(vals));
+        return json::Value::object();
+    } else {
+        for (size_t i = 0; i < n; ++i)
+            cells.push_back(driftCellMetrics(i, lockstep));
+    }
+
+    json::Value root = json::Value::object();
+    root["scenario"] = "drift_scurve";
+    json::Value arr = json::Value::array();
+    for (size_t i = 0; i < n; ++i) {
+        json::Value entry = json::Value::object();
+        entry["workload"] = driftWorkload(i).app.name;
+        entry["metrics"] = std::move(cells[i]);
+        arr.push(std::move(entry));
+    }
+    root["cells"] = std::move(arr);
+
+    // Oracle leg: a pure function of its seeds, identical in every
+    // mode.
+    DriftBanditConfig cfg;
+    cfg.numArms = 4;
+    cfg.steps = 4'000;
+    cfg.periodSteps = 500;
+    cfg.seed = 31;
+    cfg.recoveryWindow = 8;
+    const auto policy = makeDriftPolicy(
+        {"DUCB g=0.99", MabAlgorithm::Ducb, 0.99, 0}, cfg.numArms,
+        55);
+    StatsRegistry reg;
+    runDriftingBandit(*policy, cfg).exportStats(reg, "oracle");
+    root["oracle"] = reg.toJson();
+    return root;
+}
+
+TEST(GoldenSnapshot, DriftScurve)
+{
+    checkAgainstGolden("drift_scurve", driftSnapshot());
+}
+
+TEST(GoldenSnapshot, DriftBatchingAndShardingLeaveGoldenUnchanged)
+{
+    namespace fs = std::filesystem;
+    const json::Value direct = driftSnapshot();
+
+    // Batching: the same cells recomputed through a LockstepBatch
+    // (bandit rider sharing each drifting stream) must serialize to
+    // the very bytes of the per-run snapshot.
+    const json::Value batched = driftSnapshot(/*lockstep=*/true);
+    if (!updateMode()) {
+        EXPECT_EQ(batched.dump(2), direct.dump(2))
+            << "drift golden diverged between lockstep and per-run "
+               "export";
+    }
+    checkAgainstGolden("drift_scurve", batched);
+
+    // Sharding: a 2-worker worker/merge round trip (the in-process
+    // --shards 2) must reassemble the identical snapshot.
+    const fs::path tmp = fs::path(::testing::TempDir()) /
+        "mab_golden_drift_shards";
+    fs::remove_all(tmp);
+    fs::create_directories(tmp);
+    ShardSession &sh = ShardSession::global();
+    std::vector<std::string> paths;
+    for (int k = 0; k < 2; ++k) {
+        sh.reset();
+        sh.configureWorker(2, k, "golden_drift", "s");
+        driftSnapshot();
+        const std::string path =
+            (tmp / ("part-" + std::to_string(k) + ".json")).string();
+        std::string err;
+        ASSERT_TRUE(
+            sh.writePartial(path, json::Value::object(), &err))
+            << err;
+        paths.push_back(path);
+    }
+    sh.reset();
+    std::string err;
+    ASSERT_TRUE(sh.loadPartials(paths, "golden_drift", "s", &err))
+        << err;
+    const json::Value merged = driftSnapshot();
+    sh.reset();
+    fs::remove_all(tmp);
+    if (!updateMode()) {
+        EXPECT_EQ(merged.dump(2), direct.dump(2))
+            << "drift golden diverged across the shard round trip";
+    }
+    checkAgainstGolden("drift_scurve", merged);
 }
 
 TEST(GoldenSnapshot, ExportIsDeterministicWithinProcess)
