@@ -18,6 +18,8 @@
 
 #include <memory>
 
+#include "core/ducb.h"
+#include "core/swucb.h"
 #include "cpu/bandit_prefetch.h"
 #include "cpu/core_model.h"
 #include "memory/cache.h"
@@ -89,6 +91,160 @@ BENCHMARK(BM_CacheLookupFill)
     ->Arg(32 * 1024)
     ->Arg(1024 * 1024)
     ->UseRealTime();
+
+/**
+ * Pure hit probe: every lookup finds a resident, fill-complete line.
+ * Isolates the per-set tag scan + recency update — the cost every
+ * level of the hierarchy pays on the (dominant) hit path.
+ */
+static void
+BM_CacheProbeHit(benchmark::State &state)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = static_cast<uint64_t>(state.range(0));
+    Cache cache(cfg);
+    // Resident working set: half the capacity, so every set stays
+    // fully valid without evictions once warmed.
+    const uint64_t resident = cfg.sizeBytes / kLineBytes / 2;
+    for (uint64_t i = 0; i < 2 * resident; ++i)
+        cache.fill(i * kLineBytes, 0, false);
+    Rng rng(42);
+    std::vector<uint64_t> lines(1 << 14);
+    for (auto &l : lines)
+        l = (resident + rng.below(resident)) * kLineBytes;
+
+    uint64_t cycle = 1000;
+    size_t i = 0;
+    for (auto _ : state) {
+        const Cache::LookupResult r =
+            cache.lookupDemand(lines[i], ++cycle);
+        i = (i + 1) & (lines.size() - 1);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["ns/access"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_CacheProbeHit)->Arg(32 * 1024)->Arg(2 * 1024 * 1024)
+    ->UseRealTime();
+
+/**
+ * Pure miss probe + victim fill: a streaming line sequence that never
+ * re-hits, against a fully valid cache. Every access scans a full set
+ * without a match, then runs the fused first-invalid/LRU victim scan
+ * and writes the new line — the worst-case per-access path.
+ */
+static void
+BM_CacheProbeMiss(benchmark::State &state)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = static_cast<uint64_t>(state.range(0));
+    Cache cache(cfg);
+    for (uint64_t i = 0; i < cfg.sizeBytes / kLineBytes; ++i)
+        cache.fill(i * kLineBytes, 0, false);
+
+    uint64_t next = cfg.sizeBytes / kLineBytes;
+    uint64_t cycle = 0;
+    for (auto _ : state) {
+        ++cycle;
+        const Cache::LookupResult r =
+            cache.lookupDemand(next * kLineBytes, cycle);
+        cache.fill(next * kLineBytes, cycle + 30, false);
+        ++next;
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["ns/access"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_CacheProbeMiss)->Arg(32 * 1024)->Arg(2 * 1024 * 1024)
+    ->UseRealTime();
+
+/**
+ * Hits on lines whose fill has not completed (MSHR-merge path): the
+ * readyCycle compare goes the in-flight way and the prefetched-line
+ * first-use tagging stays live. The branchy tail of the hit path.
+ */
+static void
+BM_CacheProbeInflight(benchmark::State &state)
+{
+    CacheConfig cfg;
+    Cache cache(cfg);
+    const uint64_t resident = cfg.sizeBytes / kLineBytes / 2;
+    // Far-future readyCycle: every hit is an in-flight merge.
+    for (uint64_t i = 0; i < resident; ++i)
+        cache.fill(i * kLineBytes, ~0ull, true);
+    Rng rng(7);
+    std::vector<uint64_t> lines(1 << 14);
+    for (auto &l : lines)
+        l = rng.below(resident) * kLineBytes;
+
+    uint64_t cycle = 0;
+    size_t i = 0;
+    for (auto _ : state) {
+        const Cache::LookupResult r =
+            cache.lookupDemand(lines[i], ++cycle);
+        i = (i + 1) & (lines.size() - 1);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["ns/access"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_CacheProbeInflight)->UseRealTime();
+
+namespace {
+
+/** One full bandit interaction: nextArm's score maximization over the
+ *  flat arm arrays, the per-arm count update (DUCB's decay multiply /
+ *  SW-UCB's window bookkeeping) and the reward fold. */
+template <typename Policy>
+void
+runPolicySteps(benchmark::State &state, Policy &policy)
+{
+    Rng rng(99);
+    for (auto _ : state) {
+        const ArmId arm = policy.selectArm();
+        policy.observeReward(0.5 + 0.001 * static_cast<double>(
+                                               rng.below(1000)));
+        benchmark::DoNotOptimize(arm);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["ns/step"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+} // namespace
+
+/**
+ * The DUCB decision loop at the Table-7 arm count (11) and a widened
+ * arm table (64): the per-arm score loop (hoisted log, flat r/n
+ * arrays) plus the per-step discount multiply over every count.
+ */
+static void
+BM_PolicyScores(benchmark::State &state)
+{
+    MabConfig cfg;
+    cfg.numArms = static_cast<int>(state.range(0));
+    Ducb policy(cfg);
+    runPolicySteps(state, policy);
+}
+BENCHMARK(BM_PolicyScores)->Arg(11)->Arg(64)->UseRealTime();
+
+/** SW-UCB variant: score loop plus the sliding-window eviction. */
+static void
+BM_PolicyScoresSwUcb(benchmark::State &state)
+{
+    MabConfig cfg;
+    cfg.numArms = static_cast<int>(state.range(0));
+    SwUcb policy(cfg, 128);
+    runPolicySteps(state, policy);
+}
+BENCHMARK(BM_PolicyScoresSwUcb)->Arg(11)->Arg(64)->UseRealTime();
 
 namespace {
 

@@ -15,6 +15,8 @@
  * long run).
  */
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -238,7 +240,13 @@ struct LockstepMeta
      *  bigger batch stops moving wall-clock once deliveryMs is small
      *  against computeMs — e.g. batch 8 cuts ns/record ~7x while the
      *  fig8 sweep's wall-clock at jobs 1 barely moves, because
-     *  delivery was already a sliver of each batch's runtime. */
+     *  delivery was already a sliver of each batch's runtime. Worse,
+     *  batch 8 ran *net-negative* on the recorded host
+     *  (batchSavingPctMin < 0 in BENCH_sweeps.json): eight cells'
+     *  cache planes round-robining in 1024-record rounds spill the
+     *  host's fast cache, so the compute side slows more than
+     *  delivery saves — hence the lockstepBatchWarning() predictor
+     *  and the off-by-default cap. */
     uint64_t deliveryNs = 0;
     uint64_t computeNs = 0;
 };
@@ -251,16 +259,99 @@ lockstepMeta()
 }
 
 /**
+ * Hot per-cell simulator state a lockstep batch keeps resident: the
+ * three cache levels' SoA planes. (MSHR heaps, prefetcher tables and
+ * core bookkeeping ride along but are small against the LLC plane.)
+ */
+inline uint64_t
+lockstepCellFootprintBytes(const HierarchyConfig &hier = {})
+{
+    return Cache::planeBytes(hier.l1) + Cache::planeBytes(hier.l2) +
+        Cache::planeBytes(hier.llc);
+}
+
+/**
+ * The host cache level a lockstep round-robin effectively runs in:
+ * the private/mid-level cache (sysconf L2), not the LLC — the
+ * recorded sweeps (BENCH_sweeps.json) regress at batch 8 even on
+ * hosts whose L3 nominally holds the whole batch, because lockstep
+ * re-walks every cell's planes each 1024-record round and the shared,
+ * inclusive host LLC does not keep 8 cells' planes hot against that
+ * stride. Falls back to 1 MiB when the host does not report a size.
+ */
+inline uint64_t
+hostFastCacheBytes()
+{
+#ifdef _SC_LEVEL2_CACHE_SIZE
+    const long sz = ::sysconf(_SC_LEVEL2_CACHE_SIZE);
+    if (sz > 0)
+        return static_cast<uint64_t>(sz);
+#endif
+    return 1ull << 20;
+}
+
+/**
+ * Predict whether @p batch is net-negative on this host: batching
+ * only saves record *delivery* (meta.lockstep's deliveryNs, already a
+ * sliver of computeNs for every recorded sweep), so once the batch's
+ * resident state -- batch x cellBytes -- spills the host's fast
+ * cache, the per-round compute slowdown outweighs the delivery
+ * saving. Returns the stderr warning text, or "" when the batch looks
+ * safe. Pure, for tests; benchBatch() feeds it the live host values.
+ */
+inline std::string
+lockstepBatchWarning(int batch, uint64_t cellBytes,
+                     uint64_t budgetBytes)
+{
+    if (batch <= 1 || cellBytes == 0 ||
+        static_cast<uint64_t>(batch) * cellBytes <= budgetBytes)
+        return "";
+    const double mib = 1024.0 * 1024.0;
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "lockstep: --batch %d keeps ~%.1f MiB of cache-model state "
+        "resident (%d cells x %.2f MiB), over this host's ~%.1f MiB "
+        "fast cache; expect the batch to run net-negative (delivery "
+        "is a sliver of compute -- see meta.lockstep). Try --batch "
+        "auto, a smaller cap, or 0.",
+        batch, static_cast<double>(batch) * cellBytes / mib, batch,
+        static_cast<double>(cellBytes) / mib,
+        static_cast<double>(budgetBytes) / mib);
+    return buf;
+}
+
+/** Largest batch whose resident state fits @p budgetBytes (capped at
+ *  16 — the plan rarely groups more compatible cells); below 2 the
+ *  answer is 0, batching off. The `--batch auto` resolution. */
+inline int
+autoLockstepBatch(uint64_t cellBytes, uint64_t budgetBytes)
+{
+    if (cellBytes == 0)
+        return 0;
+    const uint64_t fit = budgetBytes / cellBytes;
+    if (fit < 2)
+        return 0;
+    return static_cast<int>(std::min<uint64_t>(fit, 16));
+}
+
+/**
  * Batch cap of the bench sweep: `--batch N` on the command line, else
  * MAB_BENCH_BATCH, else 0 (batching off — the per-task path, the
  * pre-lockstep behavior). N is the maximum number of compatible sweep
  * cells one LockstepBatch advances over a shared replay stream;
- * N <= 1 disables batching. Same strict validation as resolveJobs:
- * a duplicate, negative or non-numeric count is a usage error —
+ * N <= 1 disables batching. `auto` picks the largest batch whose
+ * resident state fits the host's fast cache (autoLockstepBatch with
+ * @p autoBudgetBytes, 0 = ask the host) — off stays the default
+ * because the recorded deliveryNs/computeNs splits show compute
+ * dominates every sweep, so batching is an opt-in for
+ * delivery-bound setups. Same strict validation as resolveJobs: a
+ * duplicate, negative or non-numeric count is a usage error —
  * resolveBatch() reports it, benchBatch() exits 2.
  */
 inline std::string
-resolveBatch(int argc, char **argv, const char *env, int *out)
+resolveBatch(int argc, char **argv, const char *env, int *out,
+             uint64_t autoBudgetBytes = 0)
 {
     *out = 0;
     const char *v = nullptr;
@@ -271,10 +362,17 @@ resolveBatch(int argc, char **argv, const char *env, int *out)
         v = env;
     if (!v)
         return "";
+    if (std::strcmp(v, "auto") == 0) {
+        *out = autoLockstepBatch(lockstepCellFootprintBytes(),
+                                 autoBudgetBytes != 0
+                                     ? autoBudgetBytes
+                                     : hostFastCacheBytes());
+        return "";
+    }
     int64_t batch = 0;
     if (!parseInt64(v, &batch) || batch < 0)
         return std::string("usage error: --batch needs a non-negative "
-                           "integer, got '") +
+                           "integer or 'auto', got '") +
             v + "'";
     *out = static_cast<int>(std::min<int64_t>(batch, 1 << 16));
     return "";
@@ -303,6 +401,12 @@ benchBatch(int argc, char **argv)
                     "batching (batch 0)\n");
         batch = 0;
     }
+    // Predicted-regression warning (stderr, so stdout stays
+    // byte-identical at every --batch value).
+    const std::string warn = lockstepBatchWarning(
+        batch, lockstepCellFootprintBytes(), hostFastCacheBytes());
+    if (!warn.empty())
+        std::fprintf(stderr, "%s\n", warn.c_str());
     lockstepMeta().batch = batch;
     return batch;
 }

@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Records the repo's perf trajectory for the sweep engine: end-to-end
 # wall-clock of the fig8 / fig13 / table8 sweeps at 1% scale — trace
-# arena on vs off vs lockstep batching (--batch 8) vs the persistent
-# arena directory (cold spill and warm mmap start) — at 1 and 4 jobs,
-# plus the lockstep record-delivery microbenchmarks (BM_ReplayNext,
-# BM_LockstepStep). Emits BENCH_sweeps.json.
+# arena on vs off vs lockstep batching (--batch 8 and --batch auto)
+# vs the persistent arena directory (cold spill and warm mmap start)
+# — at 1 and 4 jobs, plus the record-delivery microbenchmarks
+# (BM_ReplayNext, BM_LockstepStep) and the compute-kernel
+# microbenchmarks (BM_CacheProbe*, BM_CacheLookupFill,
+# BM_PolicyScores*). Emits BENCH_sweeps.json.
 #
 # Methodology: for each (sweep, jobs) cell the legs are interleaved
-# (on, off, batch, dircold, dirwarm, on, off, ...) so slow drift in
+# (on, off, batch8, batchauto, dircold, dirwarm, on, off, ...) so
+# slow drift in
 # host load hits every leg equally, and the summary reports both the
 # min and the median of the per-leg times. On a shared box prefer the
 # min — it is the closest observable to the noise-free cost. The
@@ -35,7 +38,7 @@ now_ms() {
     echo $((($(date +%s%N)) / 1000000))
 }
 
-# run_leg <exe> <jobs> <mode:on|off|batch8|dircold|dirwarm>
+# run_leg <exe> <jobs> <mode:on|off|batch8|batchauto|dircold|dirwarm>
 #   -> wall ms on stdout
 run_leg() {
     local exe=$1 jobs=$2 mode=$3 t0 t1
@@ -46,7 +49,10 @@ run_leg() {
     t0=$(now_ms)
     case "$mode" in
     off) MAB_BENCH_JOBS=$jobs MAB_TRACE_ARENA=0 "$exe" >/dev/null ;;
-    batch8) MAB_BENCH_JOBS=$jobs MAB_BENCH_BATCH=8 "$exe" >/dev/null ;;
+    batch8) MAB_BENCH_JOBS=$jobs MAB_BENCH_BATCH=8 "$exe" \
+        >/dev/null 2>/dev/null ;;
+    batchauto) MAB_BENCH_JOBS=$jobs MAB_BENCH_BATCH=auto "$exe" \
+        >/dev/null ;;
     dircold) MAB_BENCH_JOBS=$jobs MAB_TRACE_ARENA_DIR=$colddir \
         "$exe" >/dev/null ;;
     dirwarm) MAB_BENCH_JOBS=$jobs MAB_TRACE_ARENA_DIR=$warmdir \
@@ -74,28 +80,34 @@ for sweep in "${sweeps[@]}"; do
     mkdir -p "$warmdir"
     MAB_BENCH_JOBS=1 MAB_TRACE_ARENA_DIR=$warmdir "$exe" >/dev/null
     for jobs in "${jobs_list[@]}"; do
-        on_ms=() off_ms=() batch_ms=() cold_ms=() warm_ms=()
+        on_ms=() off_ms=() batch_ms=() auto_ms=() cold_ms=() warm_ms=()
         for ((r = 0; r < reps; ++r)); do
             on_ms+=("$(run_leg "$exe" "$jobs" on)")
             off_ms+=("$(run_leg "$exe" "$jobs" off)")
             batch_ms+=("$(run_leg "$exe" "$jobs" batch8)")
+            auto_ms+=("$(run_leg "$exe" "$jobs" batchauto)")
             cold_ms+=("$(run_leg "$exe" "$jobs" dircold)")
             warm_ms+=("$(run_leg "$exe" "$jobs" dirwarm)")
         done
         echo "$sweep jobs=$jobs on: ${on_ms[*]} | off: ${off_ms[*]}" \
-            "| batch8: ${batch_ms[*]} | dircold: ${cold_ms[*]}" \
-            "| dirwarm: ${warm_ms[*]}" >&2
+            "| batch8: ${batch_ms[*]} | batchauto: ${auto_ms[*]}" \
+            "| dircold: ${cold_ms[*]} | dirwarm: ${warm_ms[*]}" >&2
         echo "$sweep $jobs ${on_ms[*]} | ${off_ms[*]} | ${batch_ms[*]}" \
-            "| ${cold_ms[*]} | ${warm_ms[*]}" >>"$results"
+            "| ${auto_ms[*]} | ${cold_ms[*]} | ${warm_ms[*]}" \
+            >>"$results"
     done
 done
 
-# Record-delivery microbenches: the per-record replay cost and the
+# Record-delivery microbenches — the per-record replay cost and the
 # amortized per-record-per-cell lockstep cost (the <5.6 ns acceptance
-# bar at batch >= 8 lives in the "ns/record/cell" counter).
+# bar at batch >= 8 lives in the "ns/record/cell" counter) — plus the
+# compute-kernel microbenches added with the SoA cache rewrite: the
+# probe/fill paths (BM_CacheProbe*, BM_CacheLookupFill) and the bandit
+# score loops (BM_PolicyScores*).
 "$bench_dir/bench_microbench" \
-    --benchmark_filter='BM_ReplayNext|BM_LockstepStep' \
-    --benchmark_min_time=0.2 --benchmark_format=json >"$micro" \
+    --benchmark_filter='BM_ReplayNext|BM_LockstepStep|BM_CacheProbe|BM_CacheLookupFill|BM_PolicyScores' \
+    --benchmark_min_time=0.2 --benchmark_repetitions=3 \
+    --benchmark_format=json >"$micro" \
     2>/dev/null
 
 # Host provenance: enough to judge whether two BENCH_sweeps.json are
@@ -123,11 +135,12 @@ sweeps = []
 with open(results_path) as f:
     for line in f:
         name, jobs, rest = line.split(maxsplit=2)
-        on_part, off_part, batch_part, cold_part, warm_part = \
-            rest.split("|")
+        (on_part, off_part, batch_part, auto_part, cold_part,
+         warm_part) = rest.split("|")
         on = [int(x) for x in on_part.split()]
         off = [int(x) for x in off_part.split()]
         batch = [int(x) for x in batch_part.split()]
+        auto = [int(x) for x in auto_part.split()]
         cold = [int(x) for x in cold_part.split()]
         warm = [int(x) for x in warm_part.split()]
         saving = lambda a, b: round(100.0 * (b - a) / b, 1) if b else 0.0
@@ -137,22 +150,26 @@ with open(results_path) as f:
             "arenaOnMs": on,
             "arenaOffMs": off,
             "batch8Ms": batch,
+            "batchAutoMs": auto,
             "dirColdMs": cold,
             "dirWarmMs": warm,
             "minOnMs": min(on),
             "minOffMs": min(off),
             "minBatch8Ms": min(batch),
+            "minBatchAutoMs": min(auto),
             "minDirColdMs": min(cold),
             "minDirWarmMs": min(warm),
             "medianOnMs": statistics.median(on),
             "medianOffMs": statistics.median(off),
             "medianBatch8Ms": statistics.median(batch),
+            "medianBatchAutoMs": statistics.median(auto),
             "medianDirColdMs": statistics.median(cold),
             "medianDirWarmMs": statistics.median(warm),
             "savingPctMin": saving(min(on), min(off)),
             "savingPctMedian": saving(statistics.median(on),
                                       statistics.median(off)),
             "batchSavingPctMin": saving(min(batch), min(on)),
+            "autoSavingPctMin": saving(min(auto), min(on)),
             "warmSavingPctMin": saving(min(warm), min(cold)),
         })
 
@@ -160,14 +177,46 @@ with open(micro_path) as f:
     micro = json.load(f)
 replay_ns = None
 lockstep_ns = {}
-# Inverted-rate counters are reported in seconds per item; scale to ns.
+kernel_ns = {}
+# Inverted-rate counters are reported in seconds per item; scale to
+# ns. The kernel benches carry their per-op cost in real_time
+# (already ns). The bench ran --benchmark_repetitions=3: skip the
+# aggregate rows and keep the min across repetitions, the same
+# noise-resistant statistic the sweep legs use.
 for b in micro.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
     name = b.get("name", "")
     if name.startswith("BM_ReplayNext"):
-        replay_ns = round(b["ns/record"] * 1e9, 3)
+        v = round(b["ns/record"] * 1e9, 3)
+        replay_ns = v if replay_ns is None else min(replay_ns, v)
     elif name.startswith("BM_LockstepStep/"):
         cells = name.split("/")[1]
-        lockstep_ns[cells] = round(b["ns/record/cell"] * 1e9, 3)
+        v = round(b["ns/record/cell"] * 1e9, 3)
+        lockstep_ns[cells] = min(lockstep_ns.get(cells, v), v)
+    elif name.startswith(("BM_Cache", "BM_PolicyScores")):
+        v = round(b["real_time"], 3)
+        kernel_ns[name] = min(kernel_ns.get(name, v), v)
+
+# ns/op of the pre-SoA array-of-struct kernel, measured as an
+# interleaved A/B on the recorded host: the pre-change commit rebuilt
+# with the same bench sources, old/new binaries alternated run for
+# run, min over the reps (single uninterleaved samples swing +-40%
+# on this box and are not comparable). Kept inline so every
+# regenerated record carries the before/after comparison.
+kernel_before_ns = {
+    "BM_CacheLookupFill/32768/real_time": 17.021,
+    "BM_CacheLookupFill/1048576/real_time": 18.481,
+    "BM_CacheProbeHit/32768/real_time": 15.355,
+    "BM_CacheProbeHit/2097152/real_time": 18.192,
+    "BM_CacheProbeMiss/32768/real_time": 14.582,
+    "BM_CacheProbeMiss/2097152/real_time": 15.296,
+    "BM_CacheProbeInflight/real_time": 12.125,
+    "BM_PolicyScores/11/real_time": 76.848,
+    "BM_PolicyScores/64/real_time": 379.079,
+    "BM_PolicyScoresSwUcb/11/real_time": 82.605,
+    "BM_PolicyScoresSwUcb/64/real_time": 371.601,
+}
 
 def run(cmd):
     return subprocess.run(cmd, capture_output=True,
@@ -176,7 +225,7 @@ def run(cmd):
 date = run(["date", "-u", "+%Y-%m-%dT%H:%M:%SZ"])
 nproc = run(["nproc"])
 doc = {
-    "schema": "mab-bench-sweeps-v3",
+    "schema": "mab-bench-sweeps-v4",
     "generatedUtc": date,
     "host": {
         "nproc": int(nproc or 1),
@@ -187,12 +236,21 @@ doc = {
     },
     "scale": scale,
     "repsPerLeg": reps,
-    "methodology": ("interleaved on/off/batch8 legs per cell; min is "
-                    "the noise-resistant statistic on a shared host"),
+    "methodology": ("interleaved on/off/batch8/batchauto/dircold/"
+                    "dirwarm legs per cell; min is the "
+                    "noise-resistant statistic on a shared host"),
     "lockstep": {
         "replayNsPerRecord": replay_ns,
         "nsPerRecordPerCell": lockstep_ns,
         "acceptance": "ns/record/cell < 5.6 amortized at batch >= 8",
+    },
+    "kernel": {
+        "note": ("ns/op (real_time) of the cache probe/fill and "
+                 "bandit score microbenches; beforeNsPerOp was "
+                 "measured on the pre-SoA AoS cache layout on the "
+                 "same host"),
+        "nsPerOp": kernel_ns,
+        "beforeNsPerOp": kernel_before_ns,
     },
     "sweeps": sweeps,
 }
@@ -204,12 +262,18 @@ print(f"  BM_ReplayNext {replay_ns} ns/record; BM_LockstepStep " +
       ", ".join(f"{k} cells: {v}" for k, v in sorted(
           lockstep_ns.items(), key=lambda kv: int(kv[0]))) +
       " ns/record/cell")
+for name in sorted(kernel_ns):
+    before = kernel_before_ns.get(name)
+    vs = f" (was {before})" if before is not None else ""
+    print(f"  {name:<42} {kernel_ns[name]} ns/op{vs}")
 for s in sweeps:
     print(f"  {s['sweep']:<28} jobs={s['jobs']}  "
           f"min {s['minOnMs']}/{s['minOffMs']}/{s['minBatch8Ms']}/"
+          f"{s['minBatchAutoMs']}/"
           f"{s['minDirColdMs']}/{s['minDirWarmMs']} ms "
-          f"(on/off/batch8/dircold/dirwarm)  "
+          f"(on/off/batch8/auto/dircold/dirwarm)  "
           f"arena saving {s['savingPctMin']}%  "
           f"batch8 saving {s['batchSavingPctMin']}%  "
+          f"auto saving {s['autoSavingPctMin']}%  "
           f"warm saving {s['warmSavingPctMin']}%")
 EOF

@@ -103,6 +103,10 @@ for b in "${benches[@]}"; do
         fi
         env "$@" "$exe" "${json_args[@]}" >"$tmp/$b.$leg.txt" 2>&1
         sed -i "s#$tmp/$b\.$leg\.json#<json>#" "$tmp/$b.$leg.txt"
+        # The batch-footprint advisory on stderr reads the *host's*
+        # cache size — run-local by design, like meta; drop it
+        # before diffing.
+        sed -i '/^lockstep: --batch/d' "$tmp/$b.$leg.txt"
         if json_capable "$b"; then
             strip_meta "$tmp/$b.$leg.json" \
                 "$tmp/$b.$leg.stripped.json"

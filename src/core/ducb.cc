@@ -5,11 +5,17 @@ namespace mab {
 void
 Ducb::updSels(ArmId arm)
 {
-    for (double &n : n_)
-        n *= config_.gamma;
+    // Flat multiply over the contiguous count array — the compiler
+    // turns this into a vector scale, the per-step cost of the
+    // discount.
+    const double gamma = config_.gamma;
+    double *n = n_.data();
+    const ArmId arms = config_.numArms;
+    for (ArmId i = 0; i < arms; ++i)
+        n[i] *= gamma;
     // n_total is the sum of the n_i, so it is discounted identically.
-    nTotal_ = nTotal_ * config_.gamma + 1.0;
-    n_[arm] += 1.0;
+    nTotal_ = nTotal_ * gamma + 1.0;
+    n[arm] += 1.0;
 }
 
 } // namespace mab

@@ -111,10 +111,16 @@ MabPolicy::finishInitialRoundRobin()
 ArmId
 MabPolicy::greedyArm() const
 {
+    // Flat scan over the contiguous reward array, tracking the best
+    // value in a register instead of re-indexing r_[best] each step.
+    const double *r = r_.data();
     ArmId best = 0;
+    double best_r = r[0];
     for (ArmId i = 1; i < config_.numArms; ++i) {
-        if (r_[i] > r_[best])
+        if (r[i] > best_r) {
+            best_r = r[i];
             best = i;
+        }
     }
     return best;
 }

@@ -48,11 +48,21 @@ void
 SwUcb::updRew(ArmId arm, double r_step)
 {
     // Attach the reward to the youngest pending sample of this arm.
-    for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
-        if (it->arm == arm && !it->hasReward) {
-            it->hasReward = true;
-            it->reward = r_step;
-            break;
+    // In the selectArm()/observeReward() lifecycle that sample is the
+    // one updSels() just pushed — eviction only pops the front — so
+    // the back() probe resolves every step without the scan; the
+    // reverse walk stays as a fallback for out-of-order callers.
+    if (!samples_.empty() && samples_.back().arm == arm &&
+        !samples_.back().hasReward) {
+        samples_.back().hasReward = true;
+        samples_.back().reward = r_step;
+    } else {
+        for (auto it = samples_.rbegin(); it != samples_.rend(); ++it) {
+            if (it->arm == arm && !it->hasReward) {
+                it->hasReward = true;
+                it->reward = r_step;
+                break;
+            }
         }
     }
     sum_[arm] += r_step;

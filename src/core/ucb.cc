@@ -19,19 +19,37 @@ Ucb::potential(ArmId arm) const
 std::vector<double>
 Ucb::selectionScores() const
 {
-    std::vector<double> scores(config_.numArms);
-    for (ArmId i = 0; i < config_.numArms; ++i)
-        scores[i] = potential(i);
+    // ln(n_total) is arm-independent: hoist it so the per-arm loop is
+    // a flat add/sqrt/fma sweep over the contiguous r_/n_ arrays.
+    // The per-arm expression keeps potential()'s exact operation
+    // order, so the scores are bit-identical to the scalar path.
+    const double log_total = std::log(std::max(nTotal_, 1.0));
+    const double c = config_.c;
+    const double *r = r_.data();
+    const double *n = n_.data();
+    const ArmId arms = config_.numArms;
+    std::vector<double> scores(arms);
+    double *out = scores.data();
+    for (ArmId i = 0; i < arms; ++i)
+        out[i] = r[i] + c * std::sqrt(log_total / std::max(n[i], 1e-9));
     return scores;
 }
 
 ArmId
 Ucb::nextArm()
 {
+    // Same hoisted form as selectionScores(); the comparison sequence
+    // matches the scalar loop exactly (strict >, first-max wins).
+    const double log_total = std::log(std::max(nTotal_, 1.0));
+    const double c = config_.c;
+    const double *r = r_.data();
+    const double *n = n_.data();
     ArmId best = 0;
-    double best_pot = potential(0);
+    double best_pot =
+        r[0] + c * std::sqrt(log_total / std::max(n[0], 1e-9));
     for (ArmId i = 1; i < config_.numArms; ++i) {
-        const double pot = potential(i);
+        const double pot =
+            r[i] + c * std::sqrt(log_total / std::max(n[i], 1e-9));
         if (pot > best_pot) {
             best_pot = pot;
             best = i;

@@ -14,6 +14,8 @@ CoreModel::CoreModel(const CoreConfig &config,
                      const DramConfig &dram)
     : config_(config), hierarchy_(hconfig, dram), trace_(trace),
       l2Prefetcher_(l2Prefetcher), l1Prefetcher_(l1Prefetcher),
+      fetchStep_(1.0 / config.fetchWidth),
+      commitStep_(1.0 / config.commitWidth),
       robCommit_(config.robSize, 0.0)
 {
     cacheConcreteTypes();
@@ -25,7 +27,10 @@ CoreModel::CoreModel(const CoreConfig &config,
                      Prefetcher *l2Prefetcher, Prefetcher *l1Prefetcher)
     : config_(config), hierarchy_(hconfig, sharedLlc, sharedDram),
       trace_(trace), l2Prefetcher_(l2Prefetcher),
-      l1Prefetcher_(l1Prefetcher), robCommit_(config.robSize, 0.0)
+      l1Prefetcher_(l1Prefetcher),
+      fetchStep_(1.0 / config.fetchWidth),
+      commitStep_(1.0 / config.commitWidth),
+      robCommit_(config.robSize, 0.0)
 {
     cacheConcreteTypes();
 }
@@ -134,8 +139,9 @@ CoreModel::stepRecT(const Rec &rec)
     std::conditional_t<Profiled, tracing::ScopedPhase,
                        tracing::NoopPhase>
         phase(tracing::Phase::CoreTick);
-    const size_t slot = instructions_ %
-        static_cast<size_t>(config_.robSize);
+    const size_t slot = robSlot_;
+    if (++robSlot_ == static_cast<size_t>(config_.robSize))
+        robSlot_ = 0;
 
     // Dispatch: the frontend must have the instruction (fetch clock,
     // possibly stalled by a misprediction) and the ROB entry of
@@ -143,7 +149,7 @@ CoreModel::stepRecT(const Rec &rec)
     double dispatch = std::max(fetchClock_, robCommit_[slot]);
     dispatch = std::max(dispatch,
                         static_cast<double>(frontendStallUntil_));
-    fetchClock_ = dispatch + 1.0 / config_.fetchWidth;
+    fetchClock_ = dispatch + fetchStep_;
 
     double complete = dispatch + 1.0;
     if (rec.isMemory()) {
@@ -186,8 +192,7 @@ CoreModel::stepRecT(const Rec &rec)
     }
 
     // In-order commit at commitWidth per cycle.
-    commitClock_ = std::max(commitClock_ + 1.0 / config_.commitWidth,
-                            complete);
+    commitClock_ = std::max(commitClock_ + commitStep_, complete);
     robCommit_[slot] = commitClock_;
     robResidencySum_ += commitClock_ - dispatch;
     ++instructions_;

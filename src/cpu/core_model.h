@@ -217,6 +217,19 @@ class CoreModel
     uint64_t frontendStallUntil_ = 0;
     uint64_t prevLoadDone_ = 0;
 
+    /**
+     * Per-record loop invariants, hoisted out of the step path:
+     * instructions_ % robSize as a wrapping cursor (instructions_
+     * only ever increments by one per step, so the cursor tracks the
+     * modulo exactly without the per-record integer divide) and the
+     * reciprocal issue/commit increments (the divides by fetchWidth /
+     * commitWidth are loop-invariant; precomputing the quotient
+     * reuses the identical IEEE result every step).
+     */
+    size_t robSlot_ = 0;
+    double fetchStep_ = 0.0;
+    double commitStep_ = 0.0;
+
     /** Commit cycles of the last robSize instructions (ring). */
     std::vector<double> robCommit_;
 

@@ -1,127 +1,84 @@
 #include "memory/cache.h"
 
-#include <cassert>
 #include <cstring>
 #include <new>
-#include <type_traits>
 
 namespace mab {
 
 Cache::Cache(const CacheConfig &config) : config_(config)
 {
-    assert(config_.ways > 0);
+    assert(config_.ways > 0 && config_.ways <= kMaxWays &&
+           "associativity must fit the 8-bit stamp-clock domain");
     numSets_ = config_.sizeBytes / (kLineBytes * config_.ways);
     assert(numSets_ > 0 && (numSets_ & (numSets_ - 1)) == 0 &&
            "cache sets must be a nonzero power of two");
-    lines_.reset(static_cast<Line *>(std::calloc(
-        numSets_ * static_cast<uint64_t>(config_.ways),
-        sizeof(Line))));
-    if (!lines_)
+    setMask_ = numSets_ - 1;
+    ways_ = config_.ways;
+
+    const uint64_t n = numSets_ * static_cast<uint64_t>(ways_);
+    blob_.reset(static_cast<uint8_t *>(
+        std::calloc(n * kBytesPerLine + numSets_, 1)));
+    if (!blob_)
         throw std::bad_alloc();
+    tags_ = reinterpret_cast<uint64_t *>(blob_.get());
+    ready_ = tags_ + n;
+    stamp_ = reinterpret_cast<uint8_t *>(ready_ + n);
+    clock_ = stamp_ + n;
 }
 
-Cache::LookupResult
-Cache::lookupDemand(uint64_t line, uint64_t cycle)
+/**
+ * Compact one set's valid stamps, order-preserving, to {0..v-1} and
+ * return v. Each valid line's new stamp is the number of valid
+ * stamps strictly below its own, so relative recency order — and
+ * therefore every future victim choice — is unchanged. During a fill
+ * the just-written line may still carry a stale (possibly duplicate)
+ * stamp here; strict comparison keeps the other lines' order intact
+ * and the caller overwrites that line's stamp immediately after.
+ */
+uint8_t
+Cache::renormalize(uint64_t base)
 {
-    LookupResult res;
-    Line *l = findLine(line);
-    if (!l) {
-        ++demandMisses;
-        return res;
+    const int ways = ways_;
+    const uint64_t *tags = tags_ + base;
+    uint8_t *stamp = stamp_ + base;
+    uint8_t fresh[kMaxWays];
+    uint8_t v = 0;
+    for (int i = 0; i < ways; ++i) {
+        if (!(tags[i] & kValid))
+            continue;
+        ++v;
+        uint8_t below = 0;
+        for (int j = 0; j < ways; ++j)
+            below += static_cast<uint8_t>((tags[j] & kValid) &&
+                                          stamp[j] < stamp[i]);
+        fresh[i] = below;
     }
-    ++demandHits;
-    res.hit = true;
-    res.readyCycle = l->readyCycle;
-    res.inflight = l->readyCycle > cycle;
-    if (l->prefetched && !l->used)
-        res.prefetchFirstUse = true;
-    l->used = true;
-    l->lastUse = ++useTick_;
-    return res;
-}
-
-bool
-Cache::contains(uint64_t line) const
-{
-    return findLine(line) != nullptr;
-}
-
-Cache::EvictInfo
-Cache::fill(uint64_t line, uint64_t readyCycle, bool prefetch)
-{
-    EvictInfo info;
-
-    // Fused probe: one scan finds the hit, the first invalid way and
-    // the LRU victim at once (the pre-optimization code scanned the
-    // set twice on every miss fill — once in findLine, once for the
-    // victim). The hit can short-circuit; the invalid/LRU candidates
-    // cannot be committed before a miss is proven, since
-    // invalidate() punches holes in front of valid lines.
-    Line *base = setBase(line);
-    Line *firstInvalid = nullptr;
-    Line *lru = &base[0];
-    for (int w = 0; w < config_.ways; ++w) {
-        Line &l = base[w];
-        if (l.valid) {
-            if (l.tag == line) {
-                // Already present: a demand fill promotes a
-                // prefetched line.
-                if (!prefetch)
-                    l.prefetched = false;
-                return info;
-            }
-            if (l.lastUse < lru->lastUse)
-                lru = &l;
-        } else if (!firstInvalid) {
-            firstInvalid = &l;
-        }
-    }
-    Line *victim = firstInvalid ? firstInvalid : lru;
-
-    if (victim->valid) {
-        info.evictedValid = true;
-        info.evictedLine = victim->tag;
-        info.evictedUnusedPrefetch = victim->prefetched && !victim->used;
-    }
-
-    victim->tag = line;
-    victim->valid = true;
-    victim->readyCycle = readyCycle;
-    victim->prefetched = prefetch;
-    victim->used = false;
-    victim->lastUse = ++useTick_;
-    return info;
-}
-
-void
-Cache::invalidate(uint64_t line)
-{
-    if (Line *l = findLine(line))
-        l->valid = false;
+    for (int i = 0; i < ways; ++i)
+        if (tags[i] & kValid)
+            stamp[i] = fresh[i];
+    return v;
 }
 
 uint64_t
 Cache::occupancy() const
 {
-    const uint64_t n = numSets_ * static_cast<uint64_t>(config_.ways);
+    const uint64_t n = numSets_ * static_cast<uint64_t>(ways_);
     uint64_t count = 0;
     for (uint64_t i = 0; i < n; ++i)
-        count += lines_[i].valid;
+        count += tags_[i] & kValid;
     return count;
 }
 
 void
 Cache::clear()
 {
-    // The zero byte pattern is the reset Line state (see the lines_
-    // member comment); Line stays trivially copyable so this holds.
-    static_assert(std::is_trivially_copyable_v<Line>);
-    std::memset(static_cast<void *>(lines_.get()), 0,
-                numSets_ * static_cast<uint64_t>(config_.ways) *
-                    sizeof(Line));
+    // The zero byte pattern is the reset state for every plane (see
+    // the blob_ member comment), so one memset resets the cache.
+    std::memset(blob_.get(), 0,
+                numSets_ * static_cast<uint64_t>(ways_) * kBytesPerLine +
+                    numSets_);
     demandHits = 0;
     demandMisses = 0;
-    useTick_ = 0;
 }
 
 } // namespace mab

@@ -1,8 +1,10 @@
 #ifndef MAB_MEMORY_CACHE_H
 #define MAB_MEMORY_CACHE_H
 
+#include <cassert>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,10 +33,54 @@ struct CacheConfig
  * so that the hierarchy can classify prefetches as timely (demand hit
  * after the fill completed), late (demand hit while still in flight)
  * or wrong (evicted without a demand use) — the taxonomy of Figure 9.
+ *
+ * Storage is structure-of-arrays: three parallel planes indexed by
+ * set * ways + way, plus one clock byte per set, carved out of one
+ * calloc block —
+ *
+ *   tags_[]   uint64  the line address with the valid/prefetched/used
+ *                     flags packed into its low bits (line addresses
+ *                     are kLineBytes-aligned, so the low 6 bits are
+ *                     free; one 64-byte host cache line holds a whole
+ *                     8-way set's tag words, so the probe's tag scan
+ *                     is a single-line linear walk and the hit-path
+ *                     flag update dirties a line the scan already
+ *                     owns),
+ *   ready_[]  uint64  fill-completion cycle (read only on a hit),
+ *   stamp_[]  uint8   LRU use stamp (see below),
+ *   clock_[]  uint8   per-set stamp clock.
+ *
+ * This replaces the former 32-byte array-of-struct Line layout: the
+ * hot probe now touches 8 bytes per way instead of 32, the per-way
+ * loops are branch-light compare sweeps over tiny contiguous rows the
+ * compiler can unroll or vectorize, and the default three-level
+ * hierarchy's state drops from ~1.2 MB to ~630 KB per core — most of
+ * a sweep cell's working set.
+ *
+ * LRU recency is an 8-bit *use stamp* per line instead of a 64-bit
+ * last-use tick: each set hands out stamps from its own byte-wide
+ * clock — a hit or fill assigns the current clock value and
+ * increments it, so recency updates are O(1), not an O(ways) aging
+ * sweep. When a set's clock reaches 255 the set renormalizes: its v
+ * valid lines' stamps are compacted (order-preserving) to {0..v-1}
+ * and the clock restarts at v. Stamps of valid lines are therefore
+ * always distinct, the victim of a full set is the unique valid line
+ * with the minimum stamp, and because renormalization preserves
+ * relative order this reproduces the 64-bit tick ordering — and thus
+ * every eviction decision — of the old layout exactly. Invalid
+ * lines' stamps are dead values, never read; the all-zero byte
+ * pattern remains the reset state (zero tag words carry no valid
+ * bit, a zero clock is simply a fresh epoch), preserving the
+ * calloc/lazy-page trick below. Renormalization needs the clock to
+ * clear 255 - kMaxWays assignments per epoch, bounding associativity
+ * at kMaxWays = 128 ways.
  */
 class Cache
 {
   public:
+    /** Highest supported associativity (8-bit stamp-clock domain). */
+    static constexpr int kMaxWays = 128;
+
     explicit Cache(const CacheConfig &config);
 
     /** Outcome of a demand lookup. */
@@ -54,10 +100,45 @@ class Cache
      * Demand lookup for @p line at @p cycle. Updates recency and
      * clears the prefetched tag on first use.
      */
-    LookupResult lookupDemand(uint64_t line, uint64_t cycle);
+    LookupResult
+    lookupDemand(uint64_t line, uint64_t cycle)
+    {
+        assert((line & kFlagMask) == 0);
+        LookupResult res;
+        const uint64_t set = setIndex(line);
+        const uint64_t base = set * static_cast<uint64_t>(ways_);
+        uint64_t *tags = tags_ + base;
+        const int w = findWay(tags, line | kValid);
+        if (w < 0) {
+            ++demandMisses;
+            return res;
+        }
+        ++demandHits;
+        const uint64_t ready = ready_[base + w];
+        res.hit = true;
+        res.readyCycle = ready;
+        res.inflight = ready > cycle;
+        const uint64_t t = tags[w];
+        res.prefetchFirstUse = (t & (kPrefetched | kUsed)) == kPrefetched;
+        if (!(t & kUsed))
+            tags[w] = t | kUsed;
+        // Promote to most-recent. The last stamp handed out was
+        // clock - 1, so an already-MRU line needs no new stamp — the
+        // common case for the streaks of repeated hits an L1 sees.
+        uint8_t *stamp = stamp_ + base;
+        if (stamp[w] != static_cast<uint8_t>(clock_[set] - 1))
+            stamp[w] = bumpClock(set, base);
+        return res;
+    }
 
     /** Non-updating presence check (used by prefetch filtering). */
-    bool contains(uint64_t line) const;
+    bool
+    contains(uint64_t line) const
+    {
+        const uint64_t base = setIndex(line) *
+            static_cast<uint64_t>(ways_);
+        return findWay(tags_ + base, line | kValid) >= 0;
+    }
 
     /** Information about the victim of a fill. */
     struct EvictInfo
@@ -73,11 +154,73 @@ class Cache
      * If the line is already present the existing entry is kept (a
      * prefetch into a present line is a no-op; a demand fill clears
      * the prefetched tag).
+     *
+     * Fused probe: one scan finds the hit, the first invalid way and
+     * the LRU victim at once. The hit can short-circuit; the
+     * invalid/LRU candidates cannot be committed before a miss is
+     * proven, since invalidate() punches holes in front of valid
+     * lines.
      */
-    EvictInfo fill(uint64_t line, uint64_t readyCycle, bool prefetch);
+    EvictInfo
+    fill(uint64_t line, uint64_t readyCycle, bool prefetch)
+    {
+        assert((line & kFlagMask) == 0);
+        EvictInfo info;
+        const uint64_t set = setIndex(line);
+        const uint64_t base = set * static_cast<uint64_t>(ways_);
+        uint64_t *tags = tags_ + base;
+        uint8_t *stamp = stamp_ + base;
+        const int ways = ways_;
+        const uint64_t key = line | kValid;
+
+        int firstInvalid = -1;
+        int lru = 0;
+        uint8_t lruStamp = 255;
+        for (int i = 0; i < ways; ++i) {
+            const uint64_t t = tags[i];
+            if (t & kValid) {
+                if ((t & ~(kPrefetched | kUsed)) == key) {
+                    // Already present: a demand fill promotes a
+                    // prefetched line.
+                    if (!prefetch)
+                        tags[i] = t & ~kPrefetched;
+                    return info;
+                }
+                if (stamp[i] < lruStamp) {
+                    lru = i;
+                    lruStamp = stamp[i];
+                }
+            } else if (firstInvalid < 0) {
+                firstInvalid = i;
+            }
+        }
+        const int w = firstInvalid >= 0 ? firstInvalid : lru;
+
+        const uint64_t t = tags[w];
+        if (t & kValid) {
+            info.evictedValid = true;
+            info.evictedLine = t & ~kFlagMask;
+            info.evictedUnusedPrefetch =
+                (t & (kPrefetched | kUsed)) == kPrefetched;
+        }
+        tags[w] = prefetch ? (key | kPrefetched) : key;
+        ready_[base + w] = readyCycle;
+        stamp[w] = bumpClock(set, base);
+        return info;
+    }
 
     /** Remove @p line if present (back-invalidation support). */
-    void invalidate(uint64_t line);
+    void
+    invalidate(uint64_t line)
+    {
+        const uint64_t base = setIndex(line) *
+            static_cast<uint64_t>(ways_);
+        const int w = findWay(tags_ + base, line | kValid);
+        if (w < 0)
+            return;
+        // The dead stamp is simply never read again; no compaction.
+        tags_[base + w] &= ~kValid;
+    }
 
     /** Reset contents and statistics. */
     void clear();
@@ -88,49 +231,88 @@ class Cache
     /** Number of valid lines currently resident (diagnostics). */
     uint64_t occupancy() const;
 
+    /** Bytes of hot simulator state the planes of a cache with
+     *  @p config occupy — the footprint a lockstep batch multiplies
+     *  per cell. Static so batch planning can price a hierarchy
+     *  without constructing it. */
+    static uint64_t
+    planeBytes(const CacheConfig &config)
+    {
+        const uint64_t sets =
+            config.sizeBytes / (kLineBytes * config.ways);
+        return sets * (static_cast<uint64_t>(config.ways) *
+                           kBytesPerLine +
+                       1);
+    }
+
+    /** Bytes of hot simulator state this cache's planes occupy. */
+    uint64_t footprintBytes() const { return planeBytes(config_); }
+
     uint64_t demandHits = 0;
     uint64_t demandMisses = 0;
 
   private:
-    struct Line
-    {
-        uint64_t tag = 0;
-        uint64_t readyCycle = 0;
-        uint64_t lastUse = 0;
-        bool valid = false;
-        bool prefetched = false;
-        bool used = false;
-    };
+    /**
+     * Flag bits packed into the low bits of each tags_ word. Line
+     * addresses are kLineBytes-aligned, so these bits are always zero
+     * in the address itself (asserted on every mutating entry point).
+     */
+    static constexpr uint64_t kValid = 1;
+    static constexpr uint64_t kPrefetched = 2;
+    static constexpr uint64_t kUsed = 4;
+    static constexpr uint64_t kFlagMask = kValid | kPrefetched | kUsed;
+    static_assert(kFlagMask < kLineBytes,
+                  "flag bits must fit below line alignment");
 
-    /** First way of the set @p line maps to. */
-    Line *
-    setBase(uint64_t line)
+    /** Per-line plane bytes: tag+flags (8) + ready (8) + stamp (1);
+     *  each set adds one clock_ byte on top. */
+    static constexpr uint64_t kBytesPerLine = 17;
+
+    /** The set @p line maps to. */
+    uint64_t
+    setIndex(uint64_t line) const
     {
-        const uint64_t set = (line / kLineBytes) & (numSets_ - 1);
-        return &lines_[set * config_.ways];
+        return (line / kLineBytes) & setMask_;
     }
 
     /**
-     * Single-pass tag probe, inlined into the per-access paths
-     * (lookupDemand / contains / invalidate all reduce to this one
-     * scan; fill runs its own fused hit+victim scan).
+     * Single-pass tag probe over one set's tag row: the way holding
+     * @p key (= line | kValid), or -1. Masking the prefetched/used
+     * bits out of each stored word folds the validity check into the
+     * equality compare — an invalid slot has the kValid bit clear and
+     * can never equal the key. All per-access paths (lookupDemand /
+     * contains / invalidate) reduce to this one scan; fill runs its
+     * own fused hit+victim scan.
      */
-    Line *
-    findLine(uint64_t line)
+    int
+    findWay(const uint64_t *tags, uint64_t key) const
     {
-        Line *base = setBase(line);
-        for (int w = 0; w < config_.ways; ++w) {
-            if (base[w].valid && base[w].tag == line)
-                return &base[w];
+        const int ways = ways_;
+        for (int i = 0; i < ways; ++i) {
+            if ((tags[i] & ~(kPrefetched | kUsed)) == key)
+                return i;
         }
-        return nullptr;
+        return -1;
     }
 
-    const Line *
-    findLine(uint64_t line) const
+    /**
+     * Hand out set @p set's next use stamp. On epoch exhaustion
+     * (clock at 255) the set's valid stamps are first compacted,
+     * order-preserving, to {0..v-1} and the clock restarts at v —
+     * amortized O(ways^2 / 255) per assignment, unobservable from
+     * the outside because relative recency order never changes.
+     */
+    uint8_t
+    bumpClock(uint64_t set, uint64_t base)
     {
-        return const_cast<Cache *>(this)->findLine(line);
+        uint8_t c = clock_[set];
+        if (c == 255)
+            c = renormalize(base);
+        clock_[set] = static_cast<uint8_t>(c + 1);
+        return c;
     }
+
+    uint8_t renormalize(uint64_t base);
 
     struct FreeDeleter
     {
@@ -139,18 +321,26 @@ class Cache
 
     CacheConfig config_;
     uint64_t numSets_;
+    uint64_t setMask_;
+    int ways_;
 
     /**
-     * The tag array, calloc-backed. The all-zero byte pattern IS the
-     * reset Line state (invalid, tag 0), so a fresh array needs no
-     * explicit initialization pass — the OS hands out lazily-zeroed
-     * pages and only the sets a run actually touches ever fault in.
-     * A value-initialized vector memsets the whole array up front
-     * (LLC: ~4MB per CoreModel), which dominated short sweep runs
-     * that touch a few hundred sets.
+     * The SoA planes, carved out of one calloc block (tags, ready,
+     * stamps, per-set clocks — in that order, so the wide planes keep
+     * their natural alignment). The all-zero byte pattern IS the
+     * reset state (no valid lines — a zero tag word has kValid
+     * clear), so a fresh array needs no explicit initialization pass
+     * — the OS hands out lazily-zeroed pages and only the sets a run
+     * actually touches ever fault in. A value-initialized vector
+     * would memset the whole array up front (LLC: ~560 KB per
+     * CoreModel), which dominated short sweep runs that touch a few
+     * hundred sets.
      */
-    std::unique_ptr<Line[], FreeDeleter> lines_;
-    uint64_t useTick_ = 0;
+    std::unique_ptr<uint8_t[], FreeDeleter> blob_;
+    uint64_t *tags_;
+    uint64_t *ready_;
+    uint8_t *stamp_;
+    uint8_t *clock_;
 };
 
 } // namespace mab

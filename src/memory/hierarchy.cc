@@ -17,13 +17,6 @@ skylakeLikeAltConfig()
 }
 
 void
-InflightTracker::prune(uint64_t cycle)
-{
-    while (!heap_.empty() && heap_.top() <= cycle)
-        heap_.pop();
-}
-
-void
 InflightTracker::clear()
 {
     while (!heap_.empty())
@@ -49,13 +42,6 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig &config,
 {
 }
 
-void
-CacheHierarchy::countL2Eviction(const Cache::EvictInfo &info)
-{
-    if (info.evictedValid && info.evictedUnusedPrefetch)
-        ++pfStats_.wrong;
-}
-
 CacheHierarchy::AccessResult
 CacheHierarchy::demandAccessProfiled(uint64_t addr, bool isStore,
                                      uint64_t cycle)
@@ -65,52 +51,12 @@ CacheHierarchy::demandAccessProfiled(uint64_t addr, bool isStore,
 }
 
 CacheHierarchy::AccessResult
-CacheHierarchy::demandAccessImpl(uint64_t addr, bool isStore,
+CacheHierarchy::demandMissToDram(uint64_t line, bool isStore,
                                  uint64_t cycle)
 {
-    const uint64_t line = lineAddr(addr);
-    AccessResult res;
-
-    const auto r1 = l1_.lookupDemand(line, cycle);
-    if (r1.hit) {
-        res.level = HitLevel::L1;
-        res.readyCycle = std::max(cycle + config_.l1.hitLatency,
-                                  r1.readyCycle);
-        ++hitLevel_[static_cast<int>(HitLevel::L1)];
-        return res;
-    }
-
-    ++l2DemandAccesses_;
-    const uint64_t l2_time = cycle + config_.l1.hitLatency +
-        config_.l2.hitLatency;
-    const auto r2 = l2_.lookupDemand(line, cycle);
-    if (r2.hit) {
-        if (r2.prefetchFirstUse) {
-            if (r2.inflight)
-                ++pfStats_.late;
-            else
-                ++pfStats_.timely;
-        }
-        res.level = HitLevel::L2;
-        res.readyCycle = std::max(l2_time, r2.readyCycle);
-        l1_.fill(line, res.readyCycle, false);
-        ++hitLevel_[static_cast<int>(HitLevel::L2)];
-        return res;
-    }
-
-    const uint64_t llc_time = l2_time + config_.llc.hitLatency;
-    const auto r3 = llc_->lookupDemand(line, cycle);
-    if (r3.hit) {
-        res.level = HitLevel::Llc;
-        res.readyCycle = std::max(llc_time, r3.readyCycle);
-        countL2Eviction(l2_.fill(line, res.readyCycle, false));
-        l1_.fill(line, res.readyCycle, false);
-        ++hitLevel_[static_cast<int>(HitLevel::Llc)];
-        return res;
-    }
-
     // Miss all the way to DRAM. If the MSHR file is full the request
     // waits for the earliest outstanding miss to retire.
+    AccessResult res;
     ++llcDemandMisses_;
     ++hitLevel_[static_cast<int>(HitLevel::Dram)];
     demandMshr_.prune(cycle);
@@ -132,73 +78,6 @@ CacheHierarchy::demandAccessImpl(uint64_t addr, bool isStore,
     countL2Eviction(l2_.fill(line, res.readyCycle, false));
     l1_.fill(line, res.readyCycle, false);
     return res;
-}
-
-bool
-CacheHierarchy::issueL1Prefetch(uint64_t addr, uint64_t cycle)
-{
-    const uint64_t line = lineAddr(addr);
-    if (l1_.contains(line))
-        return false;
-
-    if (l2_.contains(line)) {
-        l1_.fill(line, cycle + config_.l2.hitLatency, false);
-        return true;
-    }
-    if (llc_->contains(line)) {
-        const uint64_t ready = cycle + config_.l2.hitLatency +
-            config_.llc.hitLatency;
-        countL2Eviction(l2_.fill(line, ready, false));
-        l1_.fill(line, ready, false);
-        return true;
-    }
-
-    prefetchQueue_.prune(cycle);
-    demandMshr_.prune(cycle);
-    if (prefetchQueue_.full() || demandMshr_.full()) {
-        ++pfStats_.dropped;
-        return false;
-    }
-    const uint64_t ready = dram_->schedule(cycle, false);
-    prefetchQueue_.add(ready);
-    llc_->fill(line, ready, false);
-    countL2Eviction(l2_.fill(line, ready, false));
-    l1_.fill(line, ready, false);
-    return true;
-}
-
-bool
-CacheHierarchy::issuePrefetch(uint64_t addr, uint64_t cycle)
-{
-    const uint64_t line = lineAddr(addr);
-    if (l2_.contains(line))
-        return false; // filtered: already present at the home level
-
-    if (llc_->contains(line)) {
-        // Promotion from LLC into L2: cheap, no DRAM traffic.
-        const uint64_t ready = cycle + config_.l2.hitLatency +
-            config_.llc.hitLatency;
-        countL2Eviction(l2_.fill(line, ready, true));
-        ++pfStats_.issued;
-        return true;
-    }
-
-    prefetchQueue_.prune(cycle);
-    demandMshr_.prune(cycle);
-    pfqOcc_.sample(prefetchQueue_.size());
-    if (prefetchQueue_.full() || demandMshr_.full()) {
-        ++pfStats_.dropped;
-        return false;
-    }
-
-    const uint64_t ready = dram_->schedule(cycle, false);
-    prefetchQueue_.add(ready);
-    // Fill LLC untagged and L2 tagged: classification is attributed at
-    // the L2, the prefetcher's home level (see class comment).
-    llc_->fill(line, ready, false);
-    countL2Eviction(l2_.fill(line, ready, true));
-    ++pfStats_.issued;
-    return true;
 }
 
 void

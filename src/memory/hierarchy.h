@@ -1,6 +1,7 @@
 #ifndef MAB_MEMORY_HIERARCHY_H
 #define MAB_MEMORY_HIERARCHY_H
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <queue>
@@ -92,7 +93,12 @@ class InflightTracker
     explicit InflightTracker(int capacity) : capacity_(capacity) {}
 
     /** Retire operations that completed at or before @p cycle. */
-    void prune(uint64_t cycle);
+    void
+    prune(uint64_t cycle)
+    {
+        while (!heap_.empty() && heap_.top() <= cycle)
+            heap_.pop();
+    }
 
     bool full() const
     {
@@ -177,14 +183,78 @@ class CacheHierarchy
      * Issue an L2 prefetch for @p addr. Returns false if it was
      * filtered (already present) or dropped (queues full).
      */
-    bool issuePrefetch(uint64_t addr, uint64_t cycle);
+    bool
+    issuePrefetch(uint64_t addr, uint64_t cycle)
+    {
+        const uint64_t line = lineAddr(addr);
+        if (l2_.contains(line))
+            return false; // filtered: already present at home level
+
+        if (llc_->contains(line)) {
+            // Promotion from LLC into L2: cheap, no DRAM traffic.
+            const uint64_t ready = cycle + config_.l2.hitLatency +
+                config_.llc.hitLatency;
+            countL2Eviction(l2_.fill(line, ready, true));
+            ++pfStats_.issued;
+            return true;
+        }
+
+        prefetchQueue_.prune(cycle);
+        demandMshr_.prune(cycle);
+        pfqOcc_.sample(prefetchQueue_.size());
+        if (prefetchQueue_.full() || demandMshr_.full()) {
+            ++pfStats_.dropped;
+            return false;
+        }
+
+        const uint64_t ready = dram_->schedule(cycle, false);
+        prefetchQueue_.add(ready);
+        // Fill LLC untagged and L2 tagged: classification is
+        // attributed at the L2, the prefetcher's home level (see
+        // class comment).
+        llc_->fill(line, ready, false);
+        countL2Eviction(l2_.fill(line, ready, true));
+        ++pfStats_.issued;
+        return true;
+    }
 
     /**
      * Issue an L1 prefetch for @p addr (multi-level configurations,
      * Figure 12). Fills the L1 (and lower levels on a full miss);
      * L1-initiated fills are not counted in the L2 prefetch taxonomy.
      */
-    bool issueL1Prefetch(uint64_t addr, uint64_t cycle);
+    bool
+    issueL1Prefetch(uint64_t addr, uint64_t cycle)
+    {
+        const uint64_t line = lineAddr(addr);
+        if (l1_.contains(line))
+            return false;
+
+        if (l2_.contains(line)) {
+            l1_.fill(line, cycle + config_.l2.hitLatency, false);
+            return true;
+        }
+        if (llc_->contains(line)) {
+            const uint64_t ready = cycle + config_.l2.hitLatency +
+                config_.llc.hitLatency;
+            countL2Eviction(l2_.fill(line, ready, false));
+            l1_.fill(line, ready, false);
+            return true;
+        }
+
+        prefetchQueue_.prune(cycle);
+        demandMshr_.prune(cycle);
+        if (prefetchQueue_.full() || demandMshr_.full()) {
+            ++pfStats_.dropped;
+            return false;
+        }
+        const uint64_t ready = dram_->schedule(cycle, false);
+        prefetchQueue_.add(ready);
+        llc_->fill(line, ready, false);
+        countL2Eviction(l2_.fill(line, ready, false));
+        l1_.fill(line, ready, false);
+        return true;
+    }
 
     Cache &l1() { return l1_; }
     Cache &l2() { return l2_; }
@@ -230,9 +300,72 @@ class CacheHierarchy
   private:
     AccessResult demandAccessProfiled(uint64_t addr, bool isStore,
                                       uint64_t cycle);
-    AccessResult demandAccessImpl(uint64_t addr, bool isStore,
+
+    /**
+     * The flattened L1→L2→LLC→DRAM demand walk. Defined here so the
+     * core's run loop (the only hot caller, via demandAccessT) can
+     * inline the entire path — each level's probe is the Cache
+     * header's fused scan, with no out-of-line hop between levels.
+     * Only the terminal DRAM leg (dram_->schedule) remains a call.
+     */
+    AccessResult
+    demandAccessImpl(uint64_t addr, bool isStore, uint64_t cycle)
+    {
+        const uint64_t line = lineAddr(addr);
+        AccessResult res;
+
+        const auto r1 = l1_.lookupDemand(line, cycle);
+        if (r1.hit) {
+            res.level = HitLevel::L1;
+            res.readyCycle = std::max(cycle + config_.l1.hitLatency,
+                                      r1.readyCycle);
+            ++hitLevel_[static_cast<int>(HitLevel::L1)];
+            return res;
+        }
+
+        ++l2DemandAccesses_;
+        const uint64_t l2_time = cycle + config_.l1.hitLatency +
+            config_.l2.hitLatency;
+        const auto r2 = l2_.lookupDemand(line, cycle);
+        if (r2.hit) {
+            if (r2.prefetchFirstUse) {
+                if (r2.inflight)
+                    ++pfStats_.late;
+                else
+                    ++pfStats_.timely;
+            }
+            res.level = HitLevel::L2;
+            res.readyCycle = std::max(l2_time, r2.readyCycle);
+            l1_.fill(line, res.readyCycle, false);
+            ++hitLevel_[static_cast<int>(HitLevel::L2)];
+            return res;
+        }
+
+        const uint64_t llc_time = l2_time + config_.llc.hitLatency;
+        const auto r3 = llc_->lookupDemand(line, cycle);
+        if (r3.hit) {
+            res.level = HitLevel::Llc;
+            res.readyCycle = std::max(llc_time, r3.readyCycle);
+            countL2Eviction(l2_.fill(line, res.readyCycle, false));
+            l1_.fill(line, res.readyCycle, false);
+            ++hitLevel_[static_cast<int>(HitLevel::Llc)];
+            return res;
+        }
+
+        return demandMissToDram(line, isStore, cycle);
+    }
+
+    /** The DRAM leg of a demand miss — out-of-line; it is the cold
+     *  tail of the walk and carries the MSHR bookkeeping. */
+    AccessResult demandMissToDram(uint64_t line, bool isStore,
                                   uint64_t cycle);
-    void countL2Eviction(const Cache::EvictInfo &info);
+
+    void
+    countL2Eviction(const Cache::EvictInfo &info)
+    {
+        if (info.evictedValid && info.evictedUnusedPrefetch)
+            ++pfStats_.wrong;
+    }
 
     HierarchyConfig config_;
     Cache l1_;

@@ -243,6 +243,11 @@ toString(CacheMutation m)
         return "IgnoreInvalidWays";
       case CacheMutation::ForgetInflightCycle:
         return "ForgetInflightCycle";
+      case CacheMutation::RankSkewOnHit: return "RankSkewOnHit";
+      case CacheMutation::PackedFlagAliasing:
+        return "PackedFlagAliasing";
+      case CacheMutation::SetIndexMaskOffByOne:
+        return "SetIndexMaskOffByOne";
     }
     return "?";
 }
@@ -254,7 +259,10 @@ allCacheMutations()
             CacheMutation::KeepPrefetchTagOnDemandFill,
             CacheMutation::EvictMostRecent,
             CacheMutation::IgnoreInvalidWays,
-            CacheMutation::ForgetInflightCycle};
+            CacheMutation::ForgetInflightCycle,
+            CacheMutation::RankSkewOnHit,
+            CacheMutation::PackedFlagAliasing,
+            CacheMutation::SetIndexMaskOffByOne};
 }
 
 namespace {
@@ -300,6 +308,11 @@ class MutantCache final : public CacheModel
         l->used = true;
         if (mutation_ != CacheMutation::DropRecencyUpdate)
             l->lastUse = ++tick_;
+        if (mutation_ == CacheMutation::RankSkewOnHit) {
+            // Bug: the promotion also touches lane 0, as if the
+            // stamp write landed one slot past its own way.
+            sets_[setIndex(line)][0].lastUse = tick_;
+        }
         return res;
     }
 
@@ -352,7 +365,11 @@ class MutantCache final : public CacheModel
         victim->valid = true;
         victim->readyCycle = readyCycle;
         victim->prefetched = prefetch;
-        victim->used = false;
+        // Bug: the packed meta byte's used bit rides along with the
+        // prefetched bit, so a prefetched line is born "used" and the
+        // taxonomy (prefetchFirstUse / evictedUnusedPrefetch) dies.
+        victim->used =
+            prefetch && mutation_ == CacheMutation::PackedFlagAliasing;
         victim->lastUse = ++tick_;
         return info;
     }
@@ -398,6 +415,12 @@ class MutantCache final : public CacheModel
 
     uint64_t setIndex(uint64_t line) const
     {
+        if (mutation_ == CacheMutation::SetIndexMaskOffByOne &&
+            sets_.size() >= 2) {
+            // Bug: the mask is one short of the set count, collapsing
+            // or aliasing sets (a no-op only in the 1-set geometry).
+            return (line / kLineBytes) & (sets_.size() - 2);
+        }
         return (line / kLineBytes) & (sets_.size() - 1);
     }
 
@@ -435,9 +458,16 @@ genCacheCase(uint64_t seed)
     CacheCase c;
     // Degenerate geometries (1 way, 1 set, one-line caches) are part
     // of the distribution on purpose: the fused fill probe has
-    // boundary behavior there.
+    // boundary behavior there. One case in eight goes wide
+    // (16..kMaxWays ways) to exercise stamp-clock renormalization
+    // with sets nearly filling the 8-bit stamp domain.
     c.config.name = "fuzz";
-    c.config.ways = 1 + static_cast<int>(rng.below(8));
+    if (rng.below(8) == 0) {
+        c.config.ways =
+            16 + static_cast<int>(rng.below(Cache::kMaxWays - 15));
+    } else {
+        c.config.ways = 1 + static_cast<int>(rng.below(8));
+    }
     const uint64_t sets = 1ull << rng.below(6); // 1..32 sets
     c.config.sizeBytes = kLineBytes * c.config.ways * sets;
     c.config.hitLatency = 1 + rng.below(8);

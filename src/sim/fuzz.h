@@ -235,6 +235,18 @@ enum class CacheMutation
     IgnoreInvalidWays,
     /** In-flight hits report the lookup cycle as readyCycle. */
     ForgetInflightCycle,
+    /** A hit's recency promotion also refreshes way 0 — the SoA
+     *  stamp write landing in a neighboring lane (LRU-order
+     *  corruption). */
+    RankSkewOnHit,
+    /** Prefetch fills also set the used flag — adjacent flag bits of
+     *  the packed SoA tag word aliasing (kills the prefetch taxonomy:
+     *  prefetchFirstUse / evictedUnusedPrefetch never fire). */
+    PackedFlagAliasing,
+    /** Set index masks with sets-2 instead of sets-1 — the classic
+     *  off-by-one against the SoA plane stride (no-op at 1 set;
+     *  collapses/aliases sets everywhere else). */
+    SetIndexMaskOffByOne,
 };
 
 const char *toString(CacheMutation m);

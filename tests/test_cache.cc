@@ -303,6 +303,37 @@ TEST(CacheDegenerateGeometry, WaysExceedResidentLines)
     EXPECT_EQ(wide.occupancy(), 6u);
 }
 
+TEST(CacheDegenerateGeometry, WideWaysPastTheRankByteMidpoint)
+{
+    // ways > 64: a 128-deep LRU recency order per set, driving the
+    // stamp clock through repeated renormalizations — far beyond any
+    // shipped configuration.
+    diffDegenerateGeometry(128, 2, 404);
+}
+
+TEST(CacheDegenerateGeometry, MaxWaysFullyAssociative)
+{
+    // The kMaxWays boundary: one fully-associative set whose clock
+    // renormalizes with the set completely full.
+    diffDegenerateGeometry(Cache::kMaxWays, 1, 505);
+}
+
+TEST(CacheDegenerateGeometry, RandomizedAosVsSoaEquivalenceSweep)
+{
+    // Randomized AoS-vs-SoA equivalence: drive the SoA Cache against
+    // the array-of-struct textbook reference over a grid of
+    // geometries x seeds (fresh op streams per seed), on top of the
+    // fixed single-geometry regressions above. Catches layout bugs
+    // that only surface at particular way/set/stream combinations.
+    const int ways_grid[] = {1, 2, 3, 8, 16, 65, 128};
+    const uint64_t sets_grid[] = {1, 2, 8, 32};
+    uint64_t seed = 1;
+    for (int ways : ways_grid) {
+        for (uint64_t sets : sets_grid)
+            diffDegenerateGeometry(ways, sets, seed++ * 7919);
+    }
+}
+
 TEST(CacheDegenerateGeometry, SingleLineEvictionChain)
 {
     // Fixed regression for the fused probe's hit-vs-victim ordering:
